@@ -1,0 +1,87 @@
+// ABL-SKETCH — the §3.5 extension: content sketches on the aggregation
+// component detect in-flight traffic *modification*, which counts and
+// timestamps cannot see.  Sweeps the modification rate and the sketch
+// width, reporting detection and the estimate error, plus the bandwidth
+// cost of carrying sketches.
+#include <cstdio>
+#include <vector>
+
+#include "core/config.hpp"
+#include "experiment.hpp"
+#include "sketch/sketch_aggregator.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace {
+
+using namespace vpm;
+
+struct Row {
+  std::size_t modified = 0;
+  double estimate = 0.0;
+  bool detected = false;
+};
+
+Row run_row(double modify_rate, std::size_t buckets, std::uint64_t seed) {
+  trace::TraceConfig tcfg;
+  tcfg.prefixes = trace::default_prefix_pair();
+  tcfg.packets_per_second = 50'000;
+  tcfg.duration = net::seconds(4);
+  tcfg.seed = seed;
+  const auto trace = trace::generate_trace(tcfg);
+
+  std::vector<net::Packet> tampered = trace;
+  std::size_t modified = 0;
+  if (modify_rate > 0) {
+    const auto stride = static_cast<std::size_t>(1.0 / modify_rate);
+    for (std::size_t i = 1; i < tampered.size(); i += stride) {
+      tampered[i].payload_prefix ^= 0xBAD0BEEFull;
+      ++modified;
+    }
+  }
+
+  const net::DigestEngine engine;
+  const std::uint32_t threshold = core::cut_threshold_for(5e-4);
+  auto run = [&](const std::vector<net::Packet>& pkts) {
+    sketch::SketchAggregator agg(engine, threshold, buckets);
+    for (const auto& p : pkts) agg.observe(p);
+    auto out = agg.take_closed();
+    if (auto last = agg.flush_open(); last.has_value()) {
+      out.push_back(std::move(*last));
+    }
+    return out;
+  };
+  const auto report =
+      sketch::check_path_modification(run(trace), run(tampered), 4.0);
+  return Row{.modified = modified,
+             .estimate = report.total_modified_estimate,
+             .detected = !report.clean()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABL-SKETCH: traffic-modification detection (the §3.5 extension)\n");
+  std::printf(
+      "Setup: 200k packets; a middlebox rewrites payloads at the given\n"
+      "rate; sketches ride on the aggregation component (one per ~2000-\n"
+      "packet aggregate).\n\n");
+
+  std::printf("%12s %10s %12s %12s %10s %14s\n", "modify-rate", "buckets",
+              "modified", "estimate", "detected", "bytes/agg");
+  vpm::bench::rule(76);
+  for (const double rate : {0.0, 0.0005, 0.002, 0.01}) {
+    for (const std::size_t buckets : {32ul, 128ul}) {
+      const Row r = run_row(rate, buckets, 6000);
+      std::printf("%11.2f%% %10zu %12zu %12.1f %10s %14zu\n", rate * 100.0,
+                  buckets, r.modified, r.estimate,
+                  r.detected ? "YES" : "no", buckets * 4);
+    }
+  }
+  std::printf(
+      "\nShape checks: zero modification is never flagged; rates from\n"
+      "0.05%% up are caught, with the estimate tracking the true count\n"
+      "(tighter with wider sketches).  Count- and timestamp-based receipts\n"
+      "alone are blind to all of these — the §3.5 argument for building\n"
+      "the extension into the aggregation component.\n");
+  return 0;
+}

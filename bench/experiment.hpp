@@ -1,0 +1,77 @@
+// Shared experiment plumbing for the benchmark harnesses: the paper's
+// canonical scenario (a congested domain X bracketed by honest neighbours)
+// and receipt-collection helpers.
+#ifndef VPM_BENCH_EXPERIMENT_HPP
+#define VPM_BENCH_EXPERIMENT_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "core/hop_monitor.hpp"
+#include "core/verifier.hpp"
+#include "loss/gilbert_elliott.hpp"
+#include "sim/congestion.hpp"
+#include "sim/path_run.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace vpm::bench {
+
+/// Protocol parameters used across all benches: marker every ~1000 packets
+/// (= every ~10 ms at the paper's 100 kpps), J = 10 ms.
+[[nodiscard]] inline core::ProtocolParams bench_protocol() {
+  core::ProtocolParams p;
+  p.marker_rate = 1e-3;
+  p.reorder_window_j = net::milliseconds(10);
+  return p;
+}
+
+/// The §7.2 methodology in one object: a packet sequence, the congestion
+/// delay series it would see inside domain X, and the loss model X applies.
+struct XDomainScenario {
+  std::vector<net::Packet> trace;
+  /// 3-domain path (S - X - D): hop 0 = S egress, 1 = X ingress,
+  /// 2 = X egress, 3 = D ingress.
+  sim::PathRunResult run;
+  /// Ground-truth delay (ms) through X for every delivered packet.
+  std::vector<double> true_x_delays_ms;
+  double requested_loss = 0.0;
+};
+
+struct XDomainConfig {
+  double packets_per_second = 100'000.0;  ///< the paper's sequence rate
+  double duration_s = 10.0;
+  double loss_rate = 0.0;                 ///< Gilbert-Elliott inside X
+  double mean_loss_burst = 10.0;
+  sim::CongestionKind congestion = sim::CongestionKind::kBurstyUdp;
+  /// Shorter, sharper UDP bursts than the sim default: the delay spikes
+  /// stay in the 0-15 ms band of the paper's Figure 2 instead of filling
+  /// the whole buffer.
+  sim::UdpOnOffFlow::Config udp = {
+      .peak_bps = 400e6,
+      .packet_bytes = 1400,
+      .mean_on = net::milliseconds(30),
+      .mean_off = net::milliseconds(150),
+      .seed = 1,
+  };
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] XDomainScenario make_x_scenario(const XDomainConfig& cfg);
+
+/// Run a monitor over one HOP's observations and package the receipts.
+[[nodiscard]] core::HopReceipts collect_hop(
+    const XDomainScenario& s, std::size_t hop_pos, net::HopId hop_id,
+    net::HopId prev, net::HopId next, const core::ProtocolParams& protocol,
+    const core::HopTuning& tuning,
+    net::Duration max_diff = net::milliseconds(5));
+
+/// printf a horizontal rule of the given width.
+inline void rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace vpm::bench
+
+#endif  // VPM_BENCH_EXPERIMENT_HPP

@@ -1,0 +1,159 @@
+// OVH-M / OVH-B — regenerates the Section 7.1 overhead arithmetic from
+// the implementation: memory (monitoring cache, temp packet buffer),
+// receipt wire sizes, and receipt-dissemination bandwidth.
+//
+// Every "measured" number below is computed from live data structures or
+// the actual serializer — the paper's figures are printed alongside.
+#include <cstdio>
+
+#include "collector/monitoring_cache.hpp"
+#include "collector/resource_model.hpp"
+#include "core/receipt_batch.hpp"
+#include "experiment.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace {
+
+using namespace vpm;
+
+void memory_section() {
+  std::printf("== Memory (paper section 7.1) ==\n\n");
+
+  std::printf("Monitoring cache (open-receipt state per active path):\n");
+  std::printf("  paper:    100,000 paths -> 2 MB (~20 B/path)\n");
+  std::printf("  model:    100,000 paths -> %.2f MB (%zu B/path)\n",
+              static_cast<double>(collector::monitoring_cache_bytes(100'000)) /
+                  1e6,
+              collector::kOpenReceiptBytes);
+
+  // Measured: build a real cache over 10,000 paths and verify the modeled
+  // per-path state matches what the paper budgets.
+  trace::MultiPathConfig mcfg;
+  mcfg.path_count = 10'000;
+  mcfg.total_packets_per_second = 500'000;
+  mcfg.duration = net::milliseconds(500);
+  const auto multi = trace::generate_multi_path(mcfg);
+  collector::MonitoringCache::Config ccfg;
+  ccfg.protocol = bench::bench_protocol();
+  ccfg.tuning = core::HopTuning{.sample_rate = 0.01, .cut_rate = 1e-5};
+  collector::MonitoringCache cache(ccfg, multi.paths);
+  for (const auto& p : multi.packets) cache.observe(p, p.origin_time);
+  std::printf("  measured: %zu live paths -> %.2f MB modeled SRAM\n\n",
+              cache.path_count(),
+              static_cast<double>(cache.modeled_cache_bytes()) / 1e6);
+
+  std::printf("Temporary packet buffer (7 B per packet within 2J, J=10ms):\n");
+  const double pps400 = collector::link_pps(10e9, 400.0);
+  const double pps64 = collector::link_pps(10e9, 64.0);
+  std::printf("  paper:    OC-192 @400 B avg -> 436 KB;  @64 B worst -> 2.8 MB\n");
+  std::printf("  model:    OC-192 @400 B avg -> %.0f KB; @64 B worst -> %.1f MB\n",
+              static_cast<double>(collector::temp_buffer_bytes(
+                  pps400, net::milliseconds(10))) / 1e3,
+              static_cast<double>(collector::temp_buffer_bytes(
+                  pps64, net::milliseconds(10))) / 1e6);
+  std::printf(
+      "  measured: sum of per-path buffer peaks on the 500 kpps workload\n"
+      "            above: %zu records -> %.0f KB\n",
+      cache.temp_buffer_peak_records(),
+      static_cast<double>(cache.temp_buffer_peak_records() *
+                          collector::kTempRecordBytes) / 1e3);
+  std::printf(
+      "  REPRODUCTION FINDING: Algorithm 1 holds per-packet state until\n"
+      "  the path's NEXT MARKER, i.e. ~1/marker_rate packets per path\n"
+      "  regardless of path rate.  The paper's 436 KB figure implicitly\n"
+      "  assumes marker gaps ~ J in *time*, which holds for one busy\n"
+      "  path per interface but not for many slow paths: with 100k slow\n"
+      "  paths the buffer bound is paths x 1/marker_rate x 7 B, far\n"
+      "  above the J-window estimate.  See EXPERIMENTS.md (OVH-M).\n\n");
+}
+
+void receipt_size_section() {
+  std::printf("== Receipt wire sizes (measured from the serializer) ==\n\n");
+
+  // Build a real scenario and serialize the receipts it produced.
+  bench::XDomainConfig cfg;
+  cfg.packets_per_second = 20'000;
+  cfg.duration_s = 5.0;
+  cfg.congestion = sim::CongestionKind::kNone;
+  const bench::XDomainScenario s = bench::make_x_scenario(cfg);
+  const auto protocol = bench::bench_protocol();
+  core::HopTuning tuning{.sample_rate = 0.01, .cut_rate = 1e-3};
+  const core::HopReceipts hop =
+      bench::collect_hop(s, 1, 2, 1, 3, protocol, tuning);
+
+  const std::size_t sample_bytes = core::sample_batch_size(hop.samples);
+  std::size_t trans_ids = 0;
+  for (const auto& a : hop.aggregates) {
+    trans_ids += a.trans.before.size() + a.trans.after.size();
+  }
+  const std::size_t agg_bytes = core::aggregate_batch_size(hop.aggregates);
+
+  std::printf("  paper:    receipt size 22 B; temp records 7 B\n");
+  std::printf("  measured: aggregate-receipt marginal %zu B (+4 B/AggTrans id);\n",
+              core::kAggregateRecordBytes);
+  std::printf("            sample-record marginal %zu B\n",
+              core::kSampleRecordBytes);
+  std::printf("  whole-batch check over a real 5 s x 20 kpps run:\n");
+  std::printf("    samples:    %zu records -> %zu B (%.2f B/record w/ header)\n",
+              hop.samples.samples.size(), sample_bytes,
+              static_cast<double>(sample_bytes) /
+                  static_cast<double>(hop.samples.samples.size()));
+  std::printf("    aggregates: %zu receipts (%zu AggTrans ids) -> %zu B\n\n",
+              hop.aggregates.size(), trans_ids, agg_bytes);
+}
+
+void bandwidth_section() {
+  std::printf("== Bandwidth (paper section 7.1) ==\n\n");
+  std::printf(
+      "Config: 10-domain path (20 HOPs), 1000 pkts/aggregate, 1%% sampling,\n"
+      "400 B average packets.\n");
+  collector::BandwidthParams params;
+  const collector::BandwidthOverhead o = collector::bandwidth_overhead(params);
+  std::printf("  paper:    ~0.2 B/packet for the path -> 0.046%% overhead\n");
+  std::printf("  measured: %.3f B/packet/HOP, %.2f B/packet path-wide ->"
+              " %.3f%% overhead\n",
+              o.bytes_per_packet_per_hop, o.bytes_per_packet_path,
+              o.fraction_of_traffic * 100.0);
+  std::printf(
+      "  (Our per-HOP marginal is 22 B/1000-pkt aggregate + 7 B x 1%%\n"
+      "  samples = 0.12 B; the paper's 0.2 B/pkt corresponds to one 22 B\n"
+      "  receipt per sampled packet counted once for the path, not per\n"
+      "  HOP.  Summed over all 20 HOPs we get ~2.4 B/pkt = 0.6%% — still\n"
+      "  negligible against the traffic it reports on.)\n\n");
+
+  std::printf("With AggTrans enabled (reorder patch-up, J=10ms @100kpps):\n");
+  collector::BandwidthParams with_trans = params;
+  with_trans.trans_ids_per_aggregate = 2000.0;  // 2J x 100 kpps
+  with_trans.packets_per_aggregate = 100'000.0; // paper's Fig-3 setting
+  const auto ot = collector::bandwidth_overhead(with_trans);
+  std::printf("  measured: %.3f B/packet/HOP -> %.3f%% path overhead\n",
+              ot.bytes_per_packet_per_hop, ot.fraction_of_traffic * 100.0);
+  std::printf(
+      "  (AggTrans adds 4 B x window ids per aggregate; with minutes-long\n"
+      "  aggregates this stays far below per-packet state, §6.3.)\n\n");
+}
+
+void processing_section() {
+  std::printf("== Processing (paper section 7.1) ==\n\n");
+  const collector::PerPacketOps ops = collector::per_packet_ops();
+  std::printf(
+      "  paper:    3 memory accesses + 1 hash + 1 timestamp per packet,\n"
+      "            +1 amortised access at marker sweeps\n");
+  std::printf("  model:    %d + %d hash + %d timestamp, +%.1f sweep access\n",
+              ops.memory_accesses, ops.hash_computations, ops.timestamp_reads,
+              ops.sweep_accesses);
+  std::printf("  measured: see bench/collector_fastpath (ns/packet).\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("OVERHEAD REPORT — regenerating the Section 7.1 numbers\n");
+  vpm::bench::rule(64);
+  std::printf("\n");
+  memory_section();
+  receipt_size_section();
+  bandwidth_section();
+  processing_section();
+  return 0;
+}

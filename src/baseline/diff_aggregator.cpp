@@ -1,0 +1,69 @@
+#include "baseline/diff_aggregator.hpp"
+
+#include <unordered_map>
+
+namespace vpm::baseline {
+
+void DiffAggregator::observe(const net::Packet& p, net::Timestamp when) {
+  const net::PacketDigest id = engine_.packet_id(p);
+  if (open_.has_value() && engine_.cut_value(p) > cut_threshold_) {
+    closed_.push_back(*open_);
+    open_.reset();
+  }
+  if (!open_) {
+    open_ = LdaAggregate{.first = id, .count = 0, .time_sum_ns = 0};
+  }
+  ++open_->count;
+  open_->time_sum_ns += when.nanoseconds();
+}
+
+std::vector<LdaAggregate> DiffAggregator::take_closed() {
+  std::vector<LdaAggregate> out;
+  out.swap(closed_);
+  return out;
+}
+
+std::optional<LdaAggregate> DiffAggregator::flush_open() {
+  std::optional<LdaAggregate> out;
+  out.swap(open_);
+  return out;
+}
+
+LdaDomainStats lda_domain_stats(const std::vector<LdaAggregate>& ingress,
+                                const std::vector<LdaAggregate>& egress) {
+  LdaDomainStats stats;
+  std::unordered_map<net::PacketDigest, const LdaAggregate*> by_cut;
+  by_cut.reserve(egress.size() * 2);
+  for (const LdaAggregate& a : egress) by_cut.emplace(a.first, &a);
+
+  double delay_sum_ms = 0.0;
+  std::uint64_t delay_packets = 0;
+  for (const LdaAggregate& in : ingress) {
+    stats.offered += in.count;
+    const auto it = by_cut.find(in.first);
+    if (it == by_cut.end()) {
+      ++stats.unusable_aggregates;
+      continue;
+    }
+    const LdaAggregate& out = *it->second;
+    stats.delivered += out.count;
+    if (in.count == out.count && in.count > 0) {
+      // LDA identity: sum(out times) - sum(in times) = sum of delays.
+      ++stats.usable_aggregates;
+      const double total_delay_ms =
+          static_cast<double>(out.time_sum_ns - in.time_sum_ns) / 1e6;
+      delay_sum_ms += total_delay_ms;
+      delay_packets += in.count;
+    } else {
+      // Loss (or reorder-shifted membership) poisons the sums: no delay
+      // information from this aggregate (Kompella et al.'s core caveat).
+      ++stats.unusable_aggregates;
+    }
+  }
+  if (delay_packets > 0) {
+    stats.avg_delay_ms = delay_sum_ms / static_cast<double>(delay_packets);
+  }
+  return stats;
+}
+
+}  // namespace vpm::baseline

@@ -1,0 +1,79 @@
+// Difference Aggregator ++ (Section 3.3): Lossy-Difference-Aggregator-style
+// per-aggregate counters with hash-chosen cutting points.
+//
+// Each HOP keeps, per aggregate, a packet count and a *sum of timestamps*
+// (LDA's trick: if two HOPs count the same packets, the difference of
+// their timestamp sums divided by the count is the exact average delay).
+// Aggregates are cut exactly like VPM's (digest > threshold), but there is
+// no AggTrans window — so reordering across a cut silently corrupts both
+// the counts and the sums, and delay *quantiles* are unobtainable: only
+// the average survives.  Both failure modes (the paper's two
+// computability complaints) are demonstrated by tests and the reorder
+// ablation bench.
+#ifndef VPM_BASELINE_DIFF_AGGREGATOR_HPP
+#define VPM_BASELINE_DIFF_AGGREGATOR_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/digest.hpp"
+#include "net/packet.hpp"
+#include "net/time.hpp"
+
+namespace vpm::baseline {
+
+struct LdaAggregate {
+  net::PacketDigest first = 0;  ///< cutting packet that opened it
+  std::uint64_t count = 0;
+  /// Sum of observation timestamps, nanoseconds.
+  std::int64_t time_sum_ns = 0;
+};
+
+class DiffAggregator {
+ public:
+  DiffAggregator(const net::DigestEngine& engine,
+                 std::uint32_t cut_threshold) noexcept
+      : engine_(engine), cut_threshold_(cut_threshold) {}
+
+  void observe(const net::Packet& p, net::Timestamp when);
+
+  /// Closed aggregates so far.
+  [[nodiscard]] std::vector<LdaAggregate> take_closed();
+  /// Close and return the open aggregate.
+  [[nodiscard]] std::optional<LdaAggregate> flush_open();
+
+ private:
+  net::DigestEngine engine_;
+  std::uint32_t cut_threshold_;
+  std::optional<LdaAggregate> open_;
+  std::vector<LdaAggregate> closed_;
+};
+
+/// Average-delay / loss extraction from two aligned aggregate streams.
+struct LdaDomainStats {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  /// Aggregates whose counts matched (only those yield delay info).
+  std::size_t usable_aggregates = 0;
+  std::size_t unusable_aggregates = 0;
+  /// Mean delay over usable aggregates, ms (nullopt if none usable).
+  std::optional<double> avg_delay_ms;
+
+  [[nodiscard]] double loss_rate() const noexcept {
+    return offered == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(delivered) /
+                           static_cast<double>(offered);
+  }
+};
+
+/// Pairs aggregates by their opening cut id (no join, no patch-up — that
+/// is the point of the baseline) and extracts loss + average delay.
+[[nodiscard]] LdaDomainStats lda_domain_stats(
+    const std::vector<LdaAggregate>& ingress,
+    const std::vector<LdaAggregate>& egress);
+
+}  // namespace vpm::baseline
+
+#endif  // VPM_BASELINE_DIFF_AGGREGATOR_HPP

@@ -1,0 +1,27 @@
+#include "baseline/strawman.hpp"
+
+#include <unordered_map>
+
+namespace vpm::baseline {
+
+StrawmanDomainStats strawman_domain_stats(
+    const std::vector<core::SampleRecord>& ingress,
+    const std::vector<core::SampleRecord>& egress) {
+  StrawmanDomainStats stats;
+  stats.offered = ingress.size();
+  std::unordered_map<net::PacketDigest, net::Timestamp> in_time;
+  in_time.reserve(ingress.size() * 2);
+  for (const core::SampleRecord& r : ingress) {
+    in_time.emplace(r.pkt_id, r.time);
+  }
+  stats.delays_ms.reserve(egress.size());
+  for (const core::SampleRecord& r : egress) {
+    const auto it = in_time.find(r.pkt_id);
+    if (it == in_time.end()) continue;
+    ++stats.delivered;
+    stats.delays_ms.push_back((r.time - it->second).milliseconds());
+  }
+  return stats;
+}
+
+}  // namespace vpm::baseline

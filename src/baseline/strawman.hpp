@@ -1,0 +1,67 @@
+// The strawman protocol (Section 3.1): a receipt for every single packet.
+//
+// Packet Obituaries-style: each HOP records <PktID, Time> for *all*
+// observed packets.  Computability and verifiability are perfect; the
+// point of implementing it is (a) as ground-truth-grade reference for
+// tests, and (b) to quantify the per-packet state cost that motivates VPM
+// (Section 3.1, "Tunability: this is where the strawman fails").
+#ifndef VPM_BASELINE_STRAWMAN_HPP
+#define VPM_BASELINE_STRAWMAN_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/receipt.hpp"
+#include "net/digest.hpp"
+#include "net/packet.hpp"
+#include "net/time.hpp"
+
+namespace vpm::baseline {
+
+/// One HOP's strawman monitor: remembers every packet.
+class StrawmanMonitor {
+ public:
+  explicit StrawmanMonitor(const net::DigestEngine& engine) noexcept
+      : engine_(engine) {}
+
+  void observe(const net::Packet& p, net::Timestamp when) {
+    records_.push_back(core::SampleRecord{
+        .pkt_id = engine_.packet_id(p), .time = when, .is_marker = false});
+  }
+
+  [[nodiscard]] const std::vector<core::SampleRecord>& records()
+      const noexcept {
+    return records_;
+  }
+  /// State bytes a router would need (7 B per record, like the temp
+  /// buffer) — but for the *whole reporting period*, not a 2J window.
+  [[nodiscard]] std::size_t state_bytes() const noexcept {
+    return records_.size() * 7;
+  }
+
+ private:
+  net::DigestEngine engine_;
+  std::vector<core::SampleRecord> records_;
+};
+
+/// Exact per-domain statistics from two strawman record streams.
+struct StrawmanDomainStats {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::vector<double> delays_ms;  ///< every delivered packet's delay
+
+  [[nodiscard]] double loss_rate() const noexcept {
+    return offered == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(delivered) /
+                           static_cast<double>(offered);
+  }
+};
+
+[[nodiscard]] StrawmanDomainStats strawman_domain_stats(
+    const std::vector<core::SampleRecord>& ingress,
+    const std::vector<core::SampleRecord>& egress);
+
+}  // namespace vpm::baseline
+
+#endif  // VPM_BASELINE_STRAWMAN_HPP

@@ -1,0 +1,64 @@
+// Trajectory Sampling ++ (Section 3.2): real-time hash-range sampling.
+//
+// Each HOP samples packet p iff Digest(p) > threshold — decidable the
+// moment p is observed.  That immediacy is exactly the vulnerability the
+// paper identifies: "if domain X treats the sampled packets preferentially
+// ... X's estimated performance will be higher than its actual
+// performance", and colluding neighbours can bias the same set so their
+// receipts stay consistent.  The predictability predicate is exposed so
+// the adversary library can mount the bias attack the ablation bench
+// quantifies against VPM's sampler.
+#ifndef VPM_BASELINE_TRAJECTORY_SAMPLING_HPP
+#define VPM_BASELINE_TRAJECTORY_SAMPLING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/receipt.hpp"
+#include "net/digest.hpp"
+#include "net/packet.hpp"
+#include "net/time.hpp"
+
+namespace vpm::baseline {
+
+class TrajectorySampler {
+ public:
+  /// `threshold` plays the role of the TS hash-range bound; use
+  /// net::rate_to_threshold(rate).
+  TrajectorySampler(const net::DigestEngine& engine,
+                    std::uint32_t threshold) noexcept
+      : engine_(engine), threshold_(threshold) {}
+
+  /// The real-time sampling decision — computable by anyone holding the
+  /// packet, including a cheating forwarder.
+  [[nodiscard]] bool would_sample(const net::Packet& p) const noexcept {
+    return engine_.packet_id(p) > threshold_;
+  }
+
+  void observe(const net::Packet& p, net::Timestamp when) {
+    ++observed_;
+    if (would_sample(p)) {
+      records_.push_back(core::SampleRecord{
+          .pkt_id = engine_.packet_id(p), .time = when, .is_marker = false});
+    }
+  }
+
+  [[nodiscard]] std::vector<core::SampleRecord> take_records() {
+    std::vector<core::SampleRecord> out;
+    out.swap(records_);
+    return out;
+  }
+  [[nodiscard]] std::uint64_t observed_packets() const noexcept {
+    return observed_;
+  }
+
+ private:
+  net::DigestEngine engine_;
+  std::uint32_t threshold_;
+  std::vector<core::SampleRecord> records_;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace vpm::baseline
+
+#endif  // VPM_BASELINE_TRAJECTORY_SAMPLING_HPP

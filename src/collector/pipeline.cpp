@@ -1,0 +1,56 @@
+#include "collector/pipeline.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace vpm::collector {
+
+bool CheckHeaderElement::process(const net::Packet& p,
+                                 net::Timestamp /*when*/) {
+  // Minimal IPv4 sanity: non-zero addresses, plausible length.
+  if (p.header.src.value() == 0 || p.header.dst.value() == 0 ||
+      p.header.total_length < 20) {
+    ++bad_;
+    return false;
+  }
+  return true;
+}
+
+RouteLookupElement::RouteLookupElement(std::vector<Route> routes) {
+  if (routes.empty()) {
+    throw std::invalid_argument("empty route table");
+  }
+  for (const Route& r : routes) {
+    table_.insert(r.prefix, r.next_hop_index);
+  }
+}
+
+bool RouteLookupElement::process(const net::Packet& p,
+                                 net::Timestamp /*when*/) {
+  const auto hit = table_.lookup(p.header.dst);
+  if (!hit.has_value()) {
+    ++no_route_;
+    return false;
+  }
+  last_next_hop_ = *hit;
+  return true;
+}
+
+std::vector<RouteLookupElement::Route> RouteLookupElement::synthetic_table(
+    std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Route> routes;
+  routes.reserve(n + 1);
+  std::uniform_int_distribution<std::uint32_t> octet(1, 223);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t net =
+        (octet(rng) << 24) | ((octet(rng) & 0xFFu) << 16);
+    routes.push_back(Route{net::Prefix{net::Ipv4Address{net}, 16},
+                           static_cast<std::uint32_t>(i % 16)});
+  }
+  routes.push_back(Route{net::Prefix{net::Ipv4Address{0}, 0}, 0});
+  return routes;
+}
+
+}  // namespace vpm::collector

@@ -1,0 +1,128 @@
+// A Click-style software-router pipeline (the paper's proof-of-concept ran
+// the VPM modules as Click elements on a Nehalem server, §7.1).
+//
+// Substitution note (DESIGN.md §2): we cannot reproduce the 8-core server
+// with real NICs; what the paper measured is that the VPM data-plane adds
+// no throughput penalty because the box is I/O-bound.  We measure the
+// complementary number: the CPU cost per packet of the forwarding path
+// with and without the VPM element, which bounds the rate one core
+// sustains.
+#ifndef VPM_COLLECTOR_PIPELINE_HPP
+#define VPM_COLLECTOR_PIPELINE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "collector/monitoring_cache.hpp"
+#include "net/lpm.hpp"
+#include "net/packet.hpp"
+#include "net/prefix.hpp"
+#include "net/time.hpp"
+
+namespace vpm::collector {
+
+/// A forwarding element; returns false to drop the packet.
+class Element {
+ public:
+  virtual ~Element() = default;
+  virtual bool process(const net::Packet& p, net::Timestamp when) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Header sanity checks (Click's CheckIPHeader analogue).
+class CheckHeaderElement final : public Element {
+ public:
+  bool process(const net::Packet& p, net::Timestamp when) override;
+  [[nodiscard]] std::string name() const override { return "CheckHeader"; }
+  [[nodiscard]] std::uint64_t bad_packets() const noexcept { return bad_; }
+
+ private:
+  std::uint64_t bad_ = 0;
+};
+
+/// Longest-prefix-match route lookup over a static table (RadixIPLookup
+/// analogue, backed by the net::LpmTable binary trie).
+class RouteLookupElement final : public Element {
+ public:
+  struct Route {
+    net::Prefix prefix;
+    std::uint32_t next_hop_index = 0;
+  };
+  /// Throws std::invalid_argument on an empty table.
+  explicit RouteLookupElement(std::vector<Route> routes);
+
+  bool process(const net::Packet& p, net::Timestamp when) override;
+  [[nodiscard]] std::string name() const override { return "RouteLookup"; }
+  [[nodiscard]] std::uint64_t no_route_packets() const noexcept {
+    return no_route_;
+  }
+  /// Last matched next hop (sink for the lookup result).
+  [[nodiscard]] std::uint32_t last_next_hop() const noexcept {
+    return last_next_hop_;
+  }
+
+  /// A default table with `n` random /16-ish routes plus a default route.
+  [[nodiscard]] static std::vector<Route> synthetic_table(std::size_t n,
+                                                          std::uint64_t seed);
+
+ private:
+  net::LpmTable table_;
+  std::uint64_t no_route_ = 0;
+  std::uint32_t last_next_hop_ = 0;
+};
+
+/// The VPM collector as a pipeline element.
+class VpmElement final : public Element {
+ public:
+  VpmElement(MonitoringCache::Config cfg,
+             std::span<const net::PrefixPair> paths)
+      : cache_(cfg, paths) {}
+
+  bool process(const net::Packet& p, net::Timestamp when) override {
+    cache_.observe(p, when);
+    return true;
+  }
+  [[nodiscard]] std::string name() const override { return "VpmCollector"; }
+  [[nodiscard]] MonitoringCache& cache() noexcept { return cache_; }
+
+ private:
+  MonitoringCache cache_;
+};
+
+/// A chain of elements plus counters.
+class Pipeline {
+ public:
+  void append(std::unique_ptr<Element> element) {
+    elements_.push_back(std::move(element));
+  }
+
+  /// Push one packet through; returns true if it survived all elements.
+  bool process(const net::Packet& p, net::Timestamp when) {
+    for (const auto& e : elements_) {
+      if (!e->process(p, when)) {
+        ++dropped_;
+        return false;
+      }
+    }
+    ++forwarded_;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t element_count() const noexcept {
+    return elements_.size();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Element>> elements_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace vpm::collector
+
+#endif  // VPM_COLLECTOR_PIPELINE_HPP

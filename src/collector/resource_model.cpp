@@ -1,0 +1,45 @@
+#include "collector/resource_model.hpp"
+
+#include "collector/monitoring_cache.hpp"
+#include "core/receipt_batch.hpp"
+
+namespace vpm::collector {
+
+std::size_t monitoring_cache_bytes(std::size_t active_paths) {
+  return active_paths * kOpenReceiptBytes;
+}
+
+std::size_t temp_buffer_bytes(double packets_per_second,
+                              net::Duration j_window) {
+  const double window_s = 2.0 * j_window.seconds();
+  const double records = packets_per_second * window_s;
+  return static_cast<std::size_t>(records) * kTempRecordBytes;
+}
+
+double link_pps(double bits_per_second, double avg_packet_bytes) {
+  return bits_per_second / (8.0 * avg_packet_bytes);
+}
+
+BandwidthOverhead bandwidth_overhead(const BandwidthParams& p) {
+  // Marginal receipt bytes generated per observed packet at one HOP:
+  //   aggregates: one 22 B receipt per `packets_per_aggregate` packets,
+  //               plus 4 B per AggTrans id;
+  //   samples:    7 B per sampled packet;
+  //   headers:    the per-batch header amortised over its records.
+  const double agg_bytes =
+      (static_cast<double>(core::kAggregateRecordBytes) +
+       4.0 * p.trans_ids_per_aggregate) /
+      p.packets_per_aggregate;
+  const double sample_bytes =
+      static_cast<double>(core::kSampleRecordBytes) * p.sample_rate;
+  const double header_bytes = p.batch_header_bytes / p.records_per_batch;
+
+  BandwidthOverhead out;
+  out.bytes_per_packet_per_hop = agg_bytes + sample_bytes + header_bytes;
+  out.bytes_per_packet_path =
+      out.bytes_per_packet_per_hop * static_cast<double>(p.path_hops);
+  out.fraction_of_traffic = out.bytes_per_packet_path / p.avg_packet_bytes;
+  return out;
+}
+
+}  // namespace vpm::collector

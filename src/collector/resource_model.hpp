@@ -1,0 +1,67 @@
+// Closed-form resource accounting for Section 7.1's overhead claims.
+//
+// Every function here reproduces one back-of-the-envelope computation from
+// the paper, parameterised the same way, so the overhead bench can print
+// paper-value vs model-value side by side.  Constants come from the
+// implemented wire/record formats, not from the paper's text.
+#ifndef VPM_COLLECTOR_RESOURCE_MODEL_HPP
+#define VPM_COLLECTOR_RESOURCE_MODEL_HPP
+
+#include <cstddef>
+
+#include "net/time.hpp"
+
+namespace vpm::collector {
+
+/// Monitoring-cache SRAM for `active_paths` concurrently active
+/// origin-prefix pairs (paper: 100,000 paths -> 2 MB).
+[[nodiscard]] std::size_t monitoring_cache_bytes(std::size_t active_paths);
+
+/// Temp packet buffer for one interface direction: every packet observed
+/// within the reorder window must be remembered (2J, since AggTrans spans
+/// J on each side of a cut).  Paper: OC-192, 400 B packets, J = 10 ms ->
+/// 436 KB; worst-case 64 B packets -> 2.8 MB.
+[[nodiscard]] std::size_t temp_buffer_bytes(double packets_per_second,
+                                            net::Duration j_window);
+
+/// Packets per second of a link at `bits_per_second` carrying
+/// `avg_packet_bytes` packets.
+[[nodiscard]] double link_pps(double bits_per_second, double avg_packet_bytes);
+
+struct BandwidthParams {
+  std::size_t path_hops = 20;        ///< paper: "10-domain path" (2 HOPs each)
+  double packets_per_aggregate = 1000.0;
+  double sample_rate = 0.01;
+  double avg_packet_bytes = 400.0;
+  /// AggTrans ids per aggregate receipt (0 = basic §6.2 receipts, which is
+  /// what the paper's 0.2 B/packet arithmetic assumes).
+  double trans_ids_per_aggregate = 0.0;
+  /// Amortised batch header bytes per record (path key + epoch etc. spread
+  /// over a 1 s reporting period); small for busy paths.
+  double batch_header_bytes = 29.0;
+  double records_per_batch = 1000.0;
+};
+
+struct BandwidthOverhead {
+  double bytes_per_packet_per_hop = 0.0;
+  double bytes_per_packet_path = 0.0;  ///< summed over all HOPs
+  double fraction_of_traffic = 0.0;    ///< path receipt bytes / traffic bytes
+};
+
+/// Receipt-dissemination bandwidth for one path (§7.1 "Bandwidth").
+[[nodiscard]] BandwidthOverhead bandwidth_overhead(const BandwidthParams& p);
+
+/// §7.1 processing claim, per packet.
+struct PerPacketOps {
+  int memory_accesses = 3;
+  int hash_computations = 1;
+  int timestamp_reads = 1;
+  /// Extra amortised accesses per packet from the marker sweep (each
+  /// buffered packet is touched once when its marker arrives).
+  double sweep_accesses = 1.0;
+};
+[[nodiscard]] constexpr PerPacketOps per_packet_ops() { return {}; }
+
+}  // namespace vpm::collector
+
+#endif  // VPM_COLLECTOR_RESOURCE_MODEL_HPP

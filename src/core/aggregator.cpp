@@ -1,0 +1,107 @@
+#include "core/aggregator.hpp"
+
+#include <algorithm>
+
+namespace vpm::core {
+
+void Aggregator::finalize_due(net::Timestamp now) {
+  // A pending aggregate's AggTrans is complete once we are J past its
+  // boundary: no packet observed from now on can fall inside the window.
+  auto still_pending = [&](const Pending& p) {
+    return p.boundary + j_window_ >= now;
+  };
+  auto it = std::stable_partition(pending_.begin(), pending_.end(),
+                                  still_pending);
+  for (auto done = it; done != pending_.end(); ++done) {
+    closed_.push_back(std::move(done->data));
+  }
+  pending_.erase(it, pending_.end());
+}
+
+void Aggregator::observe(const net::Packet& p, net::Timestamp when) {
+  ++observed_;
+  const net::PacketDigest id = engine_.packet_id(p);
+  const bool is_cut =
+      open_.has_value() && engine_.cut_value(p) > cut_threshold_;
+
+  finalize_due(when);
+
+  if (is_cut) {
+    // Algorithm 2, lines 2-5: close the current receipt; p starts the next
+    // aggregate.  The closed receipt's AggTrans.before is everything
+    // observed within J before the cut.
+    ++cuts_;
+    if (j_window_ > net::Duration{0}) {
+      Pending pend;
+      pend.boundary = when;
+      pend.data.agg = open_->agg;
+      pend.data.packet_count = open_->count;
+      pend.data.opened_at = open_->opened_at;
+      pend.data.closed_at = open_->last_at;
+      pend.data.trans.before.reserve(recent_.size());
+      for (const Recent& r : recent_) {
+        if (r.time + j_window_ >= when) {
+          pend.data.trans.before.push_back(r.id);
+        }
+      }
+      pending_.push_back(std::move(pend));
+    } else {
+      // Basic §6.2 mode: no reorder window, close immediately.
+      closed_.push_back(AggregateData{.agg = open_->agg,
+                                      .packet_count = open_->count,
+                                      .trans = {},
+                                      .opened_at = open_->opened_at,
+                                      .closed_at = open_->last_at});
+    }
+    open_.reset();
+  }
+
+  // The packet lands in every still-open AggTrans window (including, when
+  // it is a cut, the window of the boundary it just created).
+  for (Pending& pend : pending_) {
+    pend.data.trans.after.push_back(id);
+  }
+
+  if (!open_) {
+    open_ = Open{.agg = AggId{.first = id, .last = id},
+                 .count = 1,
+                 .opened_at = when,
+                 .last_at = when};
+  } else {
+    // Algorithm 2, lines 5-6 run for every packet: LastPacketID <- p.
+    open_->agg.last = id;
+    ++open_->count;
+    open_->last_at = when;
+  }
+
+  if (j_window_ > net::Duration{0}) {
+    recent_.push_back(Recent{id, when});
+    while (!recent_.empty() && recent_.front().time + j_window_ < when) {
+      recent_.pop_front();
+    }
+    window_peak_ = std::max(window_peak_, recent_.size());
+  }
+}
+
+std::vector<AggregateData> Aggregator::take_closed() {
+  std::vector<AggregateData> out;
+  out.swap(closed_);
+  return out;
+}
+
+std::optional<AggregateData> Aggregator::flush_open() {
+  for (Pending& pend : pending_) {
+    closed_.push_back(std::move(pend.data));
+  }
+  pending_.clear();
+  if (!open_) return std::nullopt;
+  AggregateData d;
+  d.agg = open_->agg;
+  d.packet_count = open_->count;
+  d.opened_at = open_->opened_at;
+  d.closed_at = open_->last_at;
+  open_.reset();
+  return d;
+}
+
+}  // namespace vpm::core

@@ -1,0 +1,105 @@
+// Tunable aggregation — Algorithm 2 (Partition) plus the Section 6.3
+// AggTrans extension.
+//
+// A packet whose cut digest exceeds delta becomes a *cutting point*: it
+// closes the current aggregate and opens a new one (and becomes the new
+// aggregate's first packet).  delta is local; because every HOP compares
+// the same per-packet cut value against its own threshold, cut points are
+// nested across HOPs (Section 6.2's subset property), so partitions from
+// different HOPs always have a computable, fine join.
+//
+// For reorder robustness, each closed aggregate's receipt carries the
+// AggTrans window: the ids of packets observed within J of the cutting
+// point, split into those the HOP assigned before the cut and after it.
+// The window extends J *past* the cut, so a closed aggregate is emitted
+// only once its trailing window is complete ("pending" until then).
+#ifndef VPM_CORE_AGGREGATOR_HPP
+#define VPM_CORE_AGGREGATOR_HPP
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/receipt.hpp"
+#include "net/digest.hpp"
+#include "net/packet.hpp"
+#include "net/time.hpp"
+
+namespace vpm::core {
+
+/// A closed aggregate before PathId stamping (the HopMonitor adds that).
+struct AggregateData {
+  AggId agg;
+  std::uint32_t packet_count = 0;
+  TransWindow trans;
+  net::Timestamp opened_at;
+  net::Timestamp closed_at;
+};
+
+class Aggregator {
+ public:
+  /// `cut_threshold` is delta (local tuning); `j_window` is the
+  /// system-wide reorder safety threshold J.  If `j_window` is zero no
+  /// AggTrans state is kept (the §6.2 "basic solution").
+  Aggregator(const net::DigestEngine& engine, std::uint32_t cut_threshold,
+             net::Duration j_window) noexcept
+      : engine_(engine), cut_threshold_(cut_threshold), j_window_(j_window) {}
+
+  /// Feed one packet observation (Algorithm 2's per-packet step).
+  void observe(const net::Packet& p, net::Timestamp when);
+
+  /// Drain aggregates whose trailing AggTrans window is complete.
+  [[nodiscard]] std::vector<AggregateData> take_closed();
+
+  /// Close and return the still-open aggregate (end of a measurement run).
+  /// Its AggTrans is whatever has been observed; pending aggregates are
+  /// finalised first — call take_closed() afterwards to drain everything.
+  [[nodiscard]] std::optional<AggregateData> flush_open();
+
+  [[nodiscard]] std::uint64_t observed_packets() const noexcept {
+    return observed_;
+  }
+  [[nodiscard]] std::uint64_t cuts_seen() const noexcept { return cuts_; }
+  [[nodiscard]] std::uint32_t cut_threshold() const noexcept {
+    return cut_threshold_;
+  }
+  /// Peak size of the recent-window buffer (drives §7.1 memory numbers).
+  [[nodiscard]] std::size_t window_buffer_peak() const noexcept {
+    return window_peak_;
+  }
+
+ private:
+  struct Recent {
+    net::PacketDigest id;
+    net::Timestamp time;
+  };
+  struct Open {
+    AggId agg;
+    std::uint32_t count = 0;
+    net::Timestamp opened_at;
+    net::Timestamp last_at;
+  };
+  struct Pending {
+    AggregateData data;
+    net::Timestamp boundary;  ///< cut time; window completes at boundary+J
+  };
+
+  void finalize_due(net::Timestamp now);
+
+  net::DigestEngine engine_;
+  std::uint32_t cut_threshold_;
+  net::Duration j_window_;
+
+  std::optional<Open> open_;
+  std::deque<Recent> recent_;  ///< observations within the last J
+  std::vector<Pending> pending_;
+  std::vector<AggregateData> closed_;
+  std::size_t window_peak_ = 0;
+  std::uint64_t observed_ = 0;
+  std::uint64_t cuts_ = 0;
+};
+
+}  // namespace vpm::core
+
+#endif  // VPM_CORE_AGGREGATOR_HPP

@@ -1,0 +1,160 @@
+#include "core/alignment.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vpm::core {
+namespace {
+
+/// The cutting-packet id of the boundary that closed receipt `i` (the next
+/// aggregate's first packet), or 0 if unknown/final.
+net::PacketDigest boundary_of(std::span<const AggregateReceipt> seq,
+                              std::size_t i) {
+  if (!seq[i].trans.after.empty()) return seq[i].trans.after.front();
+  if (i + 1 < seq.size()) return seq[i + 1].agg.first;
+  return 0;
+}
+
+}  // namespace
+
+PatchupResult patch_up(std::span<const AggregateReceipt> up,
+                       std::span<const AggregateReceipt> down) {
+  PatchupResult result;
+  result.down.assign(down.begin(), down.end());
+
+  // Index upstream boundaries by cutting-packet id.
+  std::unordered_map<net::PacketDigest, std::size_t> up_boundary;
+  up_boundary.reserve(up.size() * 2);
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    const net::PacketDigest b = boundary_of(up, i);
+    if (b != 0) up_boundary.emplace(b, i);
+  }
+
+  for (std::size_t j = 0; j + 1 < result.down.size(); ++j) {
+    const net::PacketDigest b = boundary_of(down, j);
+    if (b == 0) continue;
+    const auto it = up_boundary.find(b);
+    if (it == up_boundary.end()) continue;  // unmatched: join will merge
+    const AggregateReceipt& u = up[it->second];
+
+    std::unordered_set<net::PacketDigest> up_before(u.trans.before.begin(),
+                                                    u.trans.before.end());
+    std::unordered_set<net::PacketDigest> up_after(u.trans.after.begin(),
+                                                   u.trans.after.end());
+
+    AggregateReceipt& left = result.down[j];
+    AggregateReceipt& right = result.down[j + 1];
+
+    // Section 6.3: a packet the upstream HOP saw before the cut but the
+    // downstream HOP saw after it migrates into the earlier aggregate
+    // (and vice versa), so both HOPs' receipts describe the same
+    // membership.
+    for (const net::PacketDigest id : down[j].trans.after) {
+      if (id == b) continue;  // the cutting packet itself defines the cut
+      if (up_before.contains(id) && right.packet_count > 0) {
+        ++left.packet_count;
+        --right.packet_count;
+        ++result.migrations;
+      }
+    }
+    for (const net::PacketDigest id : down[j].trans.before) {
+      if (up_after.contains(id) && left.packet_count > 0) {
+        --left.packet_count;
+        ++right.packet_count;
+        ++result.migrations;
+      }
+    }
+  }
+  return result;
+}
+
+AlignmentResult align_aggregates(std::span<const AggregateReceipt> up,
+                                 std::span<const AggregateReceipt> down,
+                                 bool apply_patchup) {
+  AlignmentResult result;
+  if (up.empty() || down.empty()) return result;
+
+  PatchupResult patched;
+  if (apply_patchup) {
+    patched = patch_up(up, down);
+    result.migrations = patched.migrations;
+  } else {
+    patched.down.assign(down.begin(), down.end());
+  }
+  const std::vector<AggregateReceipt>& d = patched.down;
+
+  // Global boundary-id membership, for deciding which side merges.
+  std::unordered_set<net::PacketDigest> up_cuts;
+  up_cuts.reserve(up.size() * 2);
+  for (std::size_t i = 1; i < up.size(); ++i) up_cuts.insert(up[i].agg.first);
+  std::unordered_set<net::PacketDigest> down_cuts;
+  down_cuts.reserve(d.size() * 2);
+  for (std::size_t j = 1; j < d.size(); ++j) down_cuts.insert(d[j].agg.first);
+
+  std::size_t i = 0;
+  std::size_t j = 0;
+  AlignedAggregate acc;
+  auto start_acc = [&](std::size_t ui, std::size_t dj) {
+    acc = AlignedAggregate{};
+    acc.up_count = up[ui].packet_count;
+    acc.down_count = d[dj].packet_count;
+    acc.up_receipts = 1;
+    acc.down_receipts = 1;
+    acc.up_opened = up[ui].opened_at;
+    acc.up_closed = up[ui].closed_at;
+  };
+  auto absorb_up = [&](std::size_t ui) {
+    acc.up_count += up[ui].packet_count;
+    ++acc.up_receipts;
+    acc.up_closed = up[ui].closed_at;
+  };
+  auto absorb_down = [&](std::size_t dj) {
+    acc.down_count += d[dj].packet_count;
+    ++acc.down_receipts;
+  };
+  start_acc(0, 0);
+
+  while (i + 1 < up.size() || j + 1 < d.size()) {
+    const bool up_has = i + 1 < up.size();
+    const bool down_has = j + 1 < d.size();
+    const net::PacketDigest up_cut = up_has ? up[i + 1].agg.first : 0;
+    const net::PacketDigest down_cut = down_has ? d[j + 1].agg.first : 0;
+
+    if (up_has && down_has && up_cut == down_cut) {
+      // Matched boundary: emit the joined aggregate.
+      acc.boundary_id = up_cut;
+      result.aligned.push_back(acc);
+      ++result.boundaries_matched;
+      ++i;
+      ++j;
+      start_acc(i, j);
+      continue;
+    }
+    if (up_has && (!down_has || !down_cuts.contains(up_cut))) {
+      // Upstream boundary invisible downstream (cut packet lost, or
+      // downstream coarser): combine across it.
+      ++i;
+      absorb_up(i);
+      ++result.boundaries_merged_up;
+      continue;
+    }
+    if (down_has && (!up_has || !up_cuts.contains(down_cut))) {
+      ++j;
+      absorb_down(j);
+      ++result.boundaries_merged_down;
+      continue;
+    }
+    // Both boundaries exist on the other side but disagree on order —
+    // digest collision or cross-boundary reordering.  Merge downstream to
+    // guarantee progress; the counts stay conserved.
+    ++j;
+    absorb_down(j);
+    ++result.boundaries_merged_down;
+  }
+  acc.boundary_id = 0;
+  result.aligned.push_back(acc);
+  return result;
+}
+
+}  // namespace vpm::core

@@ -1,0 +1,79 @@
+// Receipt-level join and reorder patch-up (Sections 6.1-6.3).
+//
+// Two HOPs observing the same path report aggregate sequences that are
+// nested when nothing goes wrong (subset property of cut points), but can
+// misalign when a cutting packet is lost (boundary disappears downstream)
+// or packets reorder across a boundary (counts shift by a packet or two).
+//
+// align_aggregates() walks both receipt sequences, matching boundaries by
+// their cutting-packet id, accumulating (combining, in the Section 4
+// sense) receipts between matched boundaries — the receipt-level
+// realisation of Join.  With patch-up enabled it first migrates packets
+// across matched boundaries using the AggTrans windows, exactly as the
+// Section 6.3 example migrates p4 between HOP 4's aggregates.
+#ifndef VPM_CORE_ALIGNMENT_HPP
+#define VPM_CORE_ALIGNMENT_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/receipt.hpp"
+
+namespace vpm::core {
+
+/// One joined aggregate with both HOPs' (possibly combined) counts.
+struct AlignedAggregate {
+  std::uint64_t up_count = 0;
+  std::uint64_t down_count = 0;
+  std::size_t up_receipts = 0;    ///< raw receipts combined on the up side
+  std::size_t down_receipts = 0;  ///< ... and on the down side
+  net::Timestamp up_opened;
+  net::Timestamp up_closed;
+  /// Cutting-packet id of the boundary that closed this joined aggregate
+  /// (0 for the final, unbounded one).
+  net::PacketDigest boundary_id = 0;
+
+  /// Duration covered, by the upstream HOP's clock.
+  [[nodiscard]] double duration_s() const {
+    return (up_closed - up_opened).seconds();
+  }
+  /// Packets lost between the HOPs within this joined aggregate (negative
+  /// means downstream counted MORE than upstream — an inconsistency).
+  [[nodiscard]] std::int64_t lost() const {
+    return static_cast<std::int64_t>(up_count) -
+           static_cast<std::int64_t>(down_count);
+  }
+};
+
+struct AlignmentResult {
+  std::vector<AlignedAggregate> aligned;
+  /// Boundaries present upstream but not downstream (e.g. cutting packet
+  /// lost) and vice versa — these forced combining.
+  std::size_t boundaries_merged_up = 0;
+  std::size_t boundaries_merged_down = 0;
+  std::size_t boundaries_matched = 0;
+  /// Packets migrated across boundaries by patch-up.
+  std::size_t migrations = 0;
+};
+
+/// Join two aggregate-receipt sequences (observation order).  If
+/// `apply_patchup`, AggTrans windows repair reorder-shifted counts first.
+/// Either sequence may be empty (result has no aligned aggregates).
+[[nodiscard]] AlignmentResult align_aggregates(
+    std::span<const AggregateReceipt> up,
+    std::span<const AggregateReceipt> down, bool apply_patchup = true);
+
+/// Patch-up alone (exposed for tests and the reorder ablation): returns
+/// `down` with counts adjusted to match `up`'s boundary assignments, plus
+/// the number of migrations performed.
+struct PatchupResult {
+  std::vector<AggregateReceipt> down;
+  std::size_t migrations = 0;
+};
+[[nodiscard]] PatchupResult patch_up(std::span<const AggregateReceipt> up,
+                                     std::span<const AggregateReceipt> down);
+
+}  // namespace vpm::core
+
+#endif  // VPM_CORE_ALIGNMENT_HPP

@@ -1,0 +1,85 @@
+// Protocol-wide constants and per-HOP tuning knobs.
+//
+// The paper distinguishes carefully between system-wide parameters, fixed
+// at protocol design time, and locally tunable ones (the whole point of
+// Sections 5.2/6.2):
+//   * system-wide: the digest definition, the marker threshold mu
+//     ("a system-wide constant specified by VPM at design time", §5.1),
+//     and the reorder safety window J (§6.3);
+//   * per-HOP: the sampling threshold sigma and partition threshold delta
+//     ("a local parameter, chosen independently at each HOP");
+//   * per-link: MaxDiff, agreed between the two HOPs sharing a link (§4).
+#ifndef VPM_CORE_CONFIG_HPP
+#define VPM_CORE_CONFIG_HPP
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "net/digest.hpp"
+#include "net/time.hpp"
+
+namespace vpm::core {
+
+/// Parameters every HOP in a deployment must share.
+struct ProtocolParams {
+  net::HeaderSpec header_spec;
+  net::DigestMode digest_mode = net::DigestMode::kIndependent;
+
+  /// Marker threshold mu as a rate: fraction of packets that are markers.
+  /// The default (1/1000) makes markers ~10 ms apart on the paper's
+  /// 100 kpps sequence, matching "ten milliseconds or so" (§5.1).
+  double marker_rate = 1e-3;
+
+  /// Reorder safety window J: two packets observed more than J apart are
+  /// assumed never reordered.  The paper picks 10 ms, "an order of
+  /// magnitude above the millisecond threshold" measured in [10] (§7.1).
+  net::Duration reorder_window_j = net::milliseconds(10);
+
+  [[nodiscard]] std::uint32_t marker_threshold() const {
+    return net::rate_to_threshold(marker_rate);
+  }
+  [[nodiscard]] net::DigestEngine make_engine() const noexcept {
+    return net::DigestEngine{header_spec, digest_mode};
+  }
+};
+
+/// Per-HOP resource tuning (Section 2.2, Tunability).
+struct HopTuning {
+  /// Target fraction of packets delay-sampled.  Note markers are always
+  /// sampled, so the achieved rate is ~ marker_rate + (1-marker_rate) *
+  /// sample_rate_excess; we expose the *total* target and derive sigma.
+  double sample_rate = 0.01;
+
+  /// Target aggregates-per-packet (e.g. 1e-5 = one aggregate per 100 000
+  /// packets, the paper's Figure-3 setting).
+  double cut_rate = 1e-5;
+};
+
+/// Derive the SampleFcn threshold sigma for a total target sampling rate
+/// given the protocol's marker rate.  Throws std::invalid_argument if the
+/// target is below the marker rate (markers are always sampled, so rates
+/// below marker_rate are unreachable — the caller asked for less than the
+/// protocol floor) or above 1.
+[[nodiscard]] inline std::uint32_t sample_threshold_for(
+    const ProtocolParams& params, double total_sample_rate) {
+  if (total_sample_rate > 1.0) {
+    throw std::invalid_argument("sample rate > 1");
+  }
+  const double m = params.marker_rate;
+  if (total_sample_rate < m) {
+    throw std::invalid_argument(
+        "target sample rate below the marker rate: markers alone exceed it");
+  }
+  if (m >= 1.0) return net::rate_to_threshold(0.0);
+  const double excess = (total_sample_rate - m) / (1.0 - m);
+  return net::rate_to_threshold(excess);
+}
+
+/// Derive the partition threshold delta for a target cut rate.
+[[nodiscard]] inline std::uint32_t cut_threshold_for(double cut_rate) {
+  return net::rate_to_threshold(cut_rate);
+}
+
+}  // namespace vpm::core
+
+#endif  // VPM_CORE_CONFIG_HPP

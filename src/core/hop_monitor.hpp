@@ -1,0 +1,107 @@
+// The per-HOP, per-path monitoring state: one DelaySampler plus one
+// Aggregator, stamping receipts with this HOP's PathId.
+//
+// This is the "collector module" view of one path at one HOP (Section 7):
+// the data plane calls observe() per packet; the control-plane "processor
+// module" periodically drains receipts with collect_*().  The multi-path
+// monitoring cache that scales this to 100k paths lives in
+// src/collector (the per-path state here is what that cache stores).
+#ifndef VPM_CORE_HOP_MONITOR_HPP
+#define VPM_CORE_HOP_MONITOR_HPP
+
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "core/config.hpp"
+#include "core/receipt.hpp"
+#include "core/sampler.hpp"
+#include "net/path_id.hpp"
+
+namespace vpm::core {
+
+struct HopMonitorConfig {
+  ProtocolParams protocol;  ///< system-wide parameters
+  HopTuning tuning;         ///< this HOP's local resource choice
+  net::PathId path;         ///< stamped on every receipt
+};
+
+class HopMonitor {
+ public:
+  /// Throws std::invalid_argument if the tuning is infeasible (see
+  /// sample_threshold_for).
+  explicit HopMonitor(const HopMonitorConfig& cfg)
+      : path_(cfg.path),
+        engine_(cfg.protocol.make_engine()),
+        marker_threshold_(cfg.protocol.marker_threshold()),
+        sample_threshold_(
+            sample_threshold_for(cfg.protocol, cfg.tuning.sample_rate)),
+        sampler_(engine_, marker_threshold_, sample_threshold_),
+        aggregator_(engine_, cut_threshold_for(cfg.tuning.cut_rate),
+                    cfg.protocol.reorder_window_j) {}
+
+  /// Data-plane per-packet step (classification into this path has already
+  /// happened).
+  void observe(const net::Packet& p, net::Timestamp local_time) {
+    sampler_.observe(p, local_time);
+    aggregator_.observe(p, local_time);
+  }
+
+  /// Drain sampled measurements into a receipt.
+  [[nodiscard]] SampleReceipt collect_samples() {
+    SampleReceipt r;
+    r.path = path_;
+    r.sample_threshold = sample_threshold_;
+    r.marker_threshold = marker_threshold_;
+    r.samples = sampler_.take_samples();
+    return r;
+  }
+
+  /// Drain closed aggregates; with `flush_open`, also closes the current
+  /// aggregate (end of measurement run).
+  [[nodiscard]] std::vector<AggregateReceipt> collect_aggregates(
+      bool flush_open = false) {
+    if (flush_open) {
+      auto last = aggregator_.flush_open();
+      std::vector<AggregateReceipt> out = stamp(aggregator_.take_closed());
+      if (last.has_value()) out.push_back(stamp_one(*last));
+      return out;
+    }
+    return stamp(aggregator_.take_closed());
+  }
+
+  [[nodiscard]] const net::PathId& path() const noexcept { return path_; }
+  [[nodiscard]] const DelaySampler& sampler() const noexcept {
+    return sampler_;
+  }
+  [[nodiscard]] const Aggregator& aggregator() const noexcept {
+    return aggregator_;
+  }
+
+ private:
+  [[nodiscard]] AggregateReceipt stamp_one(const AggregateData& d) const {
+    return AggregateReceipt{.path = path_,
+                            .agg = d.agg,
+                            .packet_count = d.packet_count,
+                            .trans = d.trans,
+                            .opened_at = d.opened_at,
+                            .closed_at = d.closed_at};
+  }
+  [[nodiscard]] std::vector<AggregateReceipt> stamp(
+      std::vector<AggregateData> ds) const {
+    std::vector<AggregateReceipt> out;
+    out.reserve(ds.size());
+    for (AggregateData& d : ds) out.push_back(stamp_one(d));
+    return out;
+  }
+
+  net::PathId path_;
+  net::DigestEngine engine_;
+  std::uint32_t marker_threshold_;
+  std::uint32_t sample_threshold_;
+  DelaySampler sampler_;
+  Aggregator aggregator_;
+};
+
+}  // namespace vpm::core
+
+#endif  // VPM_CORE_HOP_MONITOR_HPP

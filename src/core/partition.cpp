@@ -1,0 +1,78 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace vpm::core {
+
+Partition::Partition(std::size_t n, std::vector<std::size_t> cuts)
+    : n_(n), cuts_(std::move(cuts)) {
+  if (n == 0) {
+    throw std::invalid_argument("partition of an empty sequence");
+  }
+  if (cuts_.empty() || cuts_.front() != 0) {
+    throw std::invalid_argument("cut set must contain index 0");
+  }
+  if (!std::is_sorted(cuts_.begin(), cuts_.end())) {
+    throw std::invalid_argument("cut set must be sorted");
+  }
+  if (std::adjacent_find(cuts_.begin(), cuts_.end()) != cuts_.end()) {
+    throw std::invalid_argument("cut set must be duplicate-free");
+  }
+  if (cuts_.back() >= n) {
+    throw std::invalid_argument("cut index " + std::to_string(cuts_.back()) +
+                                " beyond sequence of size " +
+                                std::to_string(n));
+  }
+}
+
+Partition Partition::trivial(std::size_t n) { return Partition{n, {0}}; }
+
+Partition Partition::finest(std::size_t n) {
+  std::vector<std::size_t> cuts(n);
+  for (std::size_t i = 0; i < n; ++i) cuts[i] = i;
+  return Partition{n, std::move(cuts)};
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Partition::aggregates()
+    const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(cuts_.size());
+  for (std::size_t i = 0; i < cuts_.size(); ++i) {
+    const std::size_t begin = cuts_[i];
+    const std::size_t end = i + 1 < cuts_.size() ? cuts_[i + 1] : n_;
+    out.emplace_back(begin, end);
+  }
+  return out;
+}
+
+bool Partition::coarser_or_equal(const Partition& other) const {
+  if (n_ != other.n_) {
+    throw std::invalid_argument(
+        "comparing partitions of different sequences");
+  }
+  // *this is coarser iff every aggregate here is a union of other's
+  // aggregates, i.e. our cuts are a subset of theirs.
+  return std::includes(other.cuts_.begin(), other.cuts_.end(), cuts_.begin(),
+                       cuts_.end());
+}
+
+Partition Partition::join(std::span<const Partition> parts) {
+  if (parts.empty()) {
+    throw std::invalid_argument("join of no partitions");
+  }
+  std::vector<std::size_t> common = parts.front().cuts_;
+  for (const Partition& p : parts.subspan(1)) {
+    if (p.n_ != parts.front().n_) {
+      throw std::invalid_argument("joining partitions of different sequences");
+    }
+    std::vector<std::size_t> next;
+    std::set_intersection(common.begin(), common.end(), p.cuts_.begin(),
+                          p.cuts_.end(), std::back_inserter(next));
+    common = std::move(next);
+  }
+  return Partition{parts.front().n_, std::move(common)};
+}
+
+}  // namespace vpm::core

@@ -1,0 +1,66 @@
+// The partition lattice of Section 6.1: partitions of a packet sequence
+// into consecutive aggregates, the coarser/finer relation, and Join.
+//
+// A partition of n consecutively observed packets is represented by its
+// cutting points — the set of indices that start an aggregate (index 0 is
+// always a cutting point, mirroring the paper's definition where the first
+// packet of each aggregate is a cutting point).  On this representation
+// the paper's notions become exact set operations:
+//   * A1 coarser-or-equal A2  <=>  cuts(A1) is a subset of cuts(A2);
+//   * Join(A1..AN) = the partition cut exactly at the common cutting
+//     points (the finest partition coarser than every Ai).
+// This module is the specification the receipt-level join in the verifier
+// is tested against (same-sequence case).
+#ifndef VPM_CORE_PARTITION_HPP
+#define VPM_CORE_PARTITION_HPP
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace vpm::core {
+
+class Partition {
+ public:
+  /// `cuts` are the aggregate-start indices; must be sorted, unique,
+  /// contain 0, and lie below `n`.  Throws std::invalid_argument otherwise
+  /// (or if n == 0).
+  Partition(std::size_t n, std::vector<std::size_t> cuts);
+
+  /// The single-aggregate partition {{p1..pn}}.
+  [[nodiscard]] static Partition trivial(std::size_t n);
+  /// The all-singletons partition {{p1},...,{pn}}.
+  [[nodiscard]] static Partition finest(std::size_t n);
+
+  [[nodiscard]] std::size_t sequence_size() const noexcept { return n_; }
+  [[nodiscard]] const std::vector<std::size_t>& cuts() const noexcept {
+    return cuts_;
+  }
+  [[nodiscard]] std::size_t aggregate_count() const noexcept {
+    return cuts_.size();
+  }
+  /// Aggregates as [begin, end) index ranges.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> aggregates()
+      const;
+
+  /// True iff this partition is coarser than or equal to `other`
+  /// (paper notation: *this >= other).  Throws std::invalid_argument if
+  /// the partitions cover different sequence sizes.
+  [[nodiscard]] bool coarser_or_equal(const Partition& other) const;
+
+  /// Join of several partitions of the same sequence: the finest partition
+  /// coarser than all inputs.  Throws std::invalid_argument on empty input
+  /// or mismatched sizes.
+  [[nodiscard]] static Partition join(std::span<const Partition> parts);
+
+  friend bool operator==(const Partition&, const Partition&) = default;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> cuts_;
+};
+
+}  // namespace vpm::core
+
+#endif  // VPM_CORE_PARTITION_HPP

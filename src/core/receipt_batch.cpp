@@ -1,0 +1,171 @@
+#include "core/receipt_batch.hpp"
+
+#include <stdexcept>
+
+namespace vpm::core {
+namespace {
+
+constexpr std::uint8_t kSampleBatchTag = 0x11;
+constexpr std::uint8_t kAggregateBatchTag = 0x12;
+constexpr std::int64_t kMaxOffsetUs = 0xFFFFFF;  // 3-byte time span
+
+std::uint32_t offset_us(net::Timestamp t, net::Timestamp epoch,
+                        const char* what) {
+  const std::int64_t us = (t - epoch).nanoseconds() / 1000;
+  if (us < 0 || us > kMaxOffsetUs) {
+    throw std::invalid_argument(std::string{what} +
+                                " outside the batch's 16.7 s span; flush "
+                                "batches more often");
+  }
+  return static_cast<std::uint32_t>(us);
+}
+
+}  // namespace
+
+void encode_sample_batch(const SampleReceipt& r, net::ByteWriter& out) {
+  out.u8(kSampleBatchTag);
+  out.u64(r.path.path_key());
+  out.u32(r.sample_threshold);
+  out.u32(r.marker_threshold);
+  const net::Timestamp epoch =
+      r.samples.empty() ? net::Timestamp{} : r.samples.front().time;
+  out.i64(epoch.nanoseconds());
+
+  // Split into rounds, each ending with its marker.
+  std::vector<std::pair<std::size_t, std::size_t>> rounds;  // [begin, end)
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < r.samples.size(); ++i) {
+    if (r.samples[i].is_marker) {
+      rounds.emplace_back(begin, i + 1);
+      begin = i + 1;
+    }
+  }
+  if (begin != r.samples.size()) {
+    throw std::invalid_argument(
+        "sample batch must end with a marker round (Algorithm 1 only emits "
+        "samples when a marker arrives)");
+  }
+  out.u32(static_cast<std::uint32_t>(rounds.size()));
+  for (const auto& [lo, hi] : rounds) {
+    const std::size_t followers = hi - lo - 1;
+    if (followers > 0xFFFF) {
+      throw std::invalid_argument("sampling round too large for batch");
+    }
+    out.u16(static_cast<std::uint16_t>(followers));
+    for (std::size_t i = lo; i < hi; ++i) {
+      const SampleRecord& s = r.samples[i];
+      if (s.is_marker != (i == hi - 1)) {
+        throw std::invalid_argument(
+            "marker must be exactly the last record of its round");
+      }
+      out.u32(s.pkt_id);
+      out.u24(offset_us(s.time, epoch, "sample time"));
+    }
+  }
+}
+
+SampleReceipt decode_sample_batch(net::ByteReader& in,
+                                  const net::PathId& path) {
+  if (in.u8() != kSampleBatchTag) {
+    throw net::WireError("expected sample batch tag");
+  }
+  if (in.u64() != path.path_key()) {
+    throw net::WireError("sample batch path key mismatch");
+  }
+  SampleReceipt r;
+  r.path = path;
+  r.sample_threshold = in.u32();
+  r.marker_threshold = in.u32();
+  const net::Timestamp epoch{in.i64()};
+  const std::uint32_t round_count = in.u32();
+  for (std::uint32_t round = 0; round < round_count; ++round) {
+    const std::uint16_t followers = in.u16();
+    in.expect_at_least((static_cast<std::size_t>(followers) + 1) * 7);
+    for (std::uint32_t i = 0; i <= followers; ++i) {
+      SampleRecord s;
+      s.pkt_id = in.u32();
+      s.time = epoch + net::microseconds(in.u24());
+      s.is_marker = (i == followers);
+      r.samples.push_back(s);
+    }
+  }
+  return r;
+}
+
+void encode_aggregate_batch(std::span<const AggregateReceipt> rs,
+                            net::ByteWriter& out) {
+  if (rs.empty()) {
+    throw std::invalid_argument("empty aggregate batch");
+  }
+  out.u8(kAggregateBatchTag);
+  out.u64(rs.front().path.path_key());
+  const net::Timestamp epoch = rs.front().opened_at;
+  out.i64(epoch.nanoseconds());
+  out.u32(static_cast<std::uint32_t>(rs.size()));
+  for (const AggregateReceipt& r : rs) {
+    if (!(r.path == rs.front().path)) {
+      throw std::invalid_argument("aggregate batch mixes paths");
+    }
+    if (r.trans.before.size() > 0xFFFF || r.trans.after.size() > 0xFFFF) {
+      throw std::invalid_argument("AggTrans window too large for batch");
+    }
+    out.u32(r.agg.first);
+    out.u32(r.agg.last);
+    out.u32(r.packet_count);
+    out.u24(offset_us(r.opened_at, epoch, "aggregate open time"));
+    out.u24(offset_us(r.closed_at, epoch, "aggregate close time"));
+    out.u16(static_cast<std::uint16_t>(r.trans.before.size()));
+    out.u16(static_cast<std::uint16_t>(r.trans.after.size()));
+    for (const net::PacketDigest id : r.trans.before) out.u32(id);
+    for (const net::PacketDigest id : r.trans.after) out.u32(id);
+  }
+}
+
+std::vector<AggregateReceipt> decode_aggregate_batch(net::ByteReader& in,
+                                                     const net::PathId& path) {
+  if (in.u8() != kAggregateBatchTag) {
+    throw net::WireError("expected aggregate batch tag");
+  }
+  if (in.u64() != path.path_key()) {
+    throw net::WireError("aggregate batch path key mismatch");
+  }
+  const net::Timestamp epoch{in.i64()};
+  const std::uint32_t count = in.u32();
+  std::vector<AggregateReceipt> out;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    AggregateReceipt r;
+    r.path = path;
+    r.agg.first = in.u32();
+    r.agg.last = in.u32();
+    r.packet_count = in.u32();
+    r.opened_at = epoch + net::microseconds(in.u24());
+    r.closed_at = epoch + net::microseconds(in.u24());
+    const std::uint16_t n_before = in.u16();
+    const std::uint16_t n_after = in.u16();
+    in.expect_at_least((static_cast<std::size_t>(n_before) + n_after) * 4);
+    r.trans.before.reserve(n_before);
+    for (std::uint16_t k = 0; k < n_before; ++k) {
+      r.trans.before.push_back(in.u32());
+    }
+    r.trans.after.reserve(n_after);
+    for (std::uint16_t k = 0; k < n_after; ++k) {
+      r.trans.after.push_back(in.u32());
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::size_t sample_batch_size(const SampleReceipt& r) {
+  net::ByteWriter w;
+  encode_sample_batch(r, w);
+  return w.size();
+}
+
+std::size_t aggregate_batch_size(std::span<const AggregateReceipt> rs) {
+  net::ByteWriter w;
+  encode_aggregate_batch(rs, w);
+  return w.size();
+}
+
+}  // namespace vpm::core

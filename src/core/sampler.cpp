@@ -1,0 +1,38 @@
+#include "core/sampler.hpp"
+
+#include <algorithm>
+
+namespace vpm::core {
+
+void DelaySampler::observe(const net::Packet& p, net::Timestamp when) {
+  ++observed_;
+  const net::PacketDigest id = engine_.packet_id(p);
+
+  if (engine_.marker_value(p) > marker_threshold_) {
+    // Algorithm 1, lines 1-6: the marker decides the fate of everything
+    // buffered since the previous marker.
+    ++markers_;
+    for (const Buffered& q : buffer_) {
+      if (net::DigestEngine::sample_value(q.id, id) > sample_threshold_) {
+        emitted_.push_back(
+            SampleRecord{.pkt_id = q.id, .time = q.time, .is_marker = false});
+      }
+    }
+    buffer_.clear();
+    emitted_.push_back(
+        SampleRecord{.pkt_id = id, .time = when, .is_marker = true});
+    return;
+  }
+
+  // Algorithm 1, line 8: remember the packet until the next marker.
+  buffer_.push_back(Buffered{id, when});
+  buffer_peak_ = std::max(buffer_peak_, buffer_.size());
+}
+
+std::vector<SampleRecord> DelaySampler::take_samples() {
+  std::vector<SampleRecord> out;
+  out.swap(emitted_);
+  return out;
+}
+
+}  // namespace vpm::core

@@ -1,0 +1,86 @@
+// Bias-resistant, tunable delay sampling — Algorithm 1 (DelaySample).
+//
+// The HOP buffers <digest, time> for every observed packet.  When a
+// *marker* packet arrives (marker digest > mu), the marker's digest keys
+// which buffered packets become samples: q is sampled iff
+// SampleFcn(Digest(q), Digest(marker)) > sigma.  The buffer is then
+// emptied and the marker itself is sampled.
+//
+// Properties this implementation preserves (and tests verify):
+//   * Bias resistance (§5.1): whether a packet is a sample is unknowable
+//     until the *next marker* arrives — after the packet was forwarded.
+//   * Subset/tunability (§5.2): sigma2 < sigma1 implies HOP2's samples are
+//     a superset of HOP1's, for any traffic, because both evaluate the
+//     same SampleFcn value against their thresholds.
+//   * Loss behaviour (§5.3): a lost marker desynchronises sampling only
+//     until the next marker arrives.
+#ifndef VPM_CORE_SAMPLER_HPP
+#define VPM_CORE_SAMPLER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/receipt.hpp"
+#include "net/digest.hpp"
+#include "net/packet.hpp"
+#include "net/time.hpp"
+
+namespace vpm::core {
+
+class DelaySampler {
+ public:
+  /// `engine` must be the protocol-wide digest engine; `marker_threshold`
+  /// is mu (system-wide); `sample_threshold` is sigma (local tuning).
+  DelaySampler(const net::DigestEngine& engine, std::uint32_t marker_threshold,
+               std::uint32_t sample_threshold) noexcept
+      : engine_(engine),
+        marker_threshold_(marker_threshold),
+        sample_threshold_(sample_threshold) {}
+
+  /// Feed one packet observation (Algorithm 1's per-packet step).
+  void observe(const net::Packet& p, net::Timestamp when);
+
+  /// Drain the samples emitted so far (observation order).  Packets still
+  /// in the temp buffer stay buffered — their fate is not yet decided.
+  [[nodiscard]] std::vector<SampleRecord> take_samples();
+
+  /// Number of packets currently awaiting a marker.
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size();
+  }
+  /// High-water mark of the temp buffer (drives the §7.1 memory numbers).
+  [[nodiscard]] std::size_t buffer_peak() const noexcept {
+    return buffer_peak_;
+  }
+  [[nodiscard]] std::uint64_t observed_packets() const noexcept {
+    return observed_;
+  }
+  [[nodiscard]] std::uint64_t markers_seen() const noexcept {
+    return markers_;
+  }
+  [[nodiscard]] std::uint32_t sample_threshold() const noexcept {
+    return sample_threshold_;
+  }
+  [[nodiscard]] std::uint32_t marker_threshold() const noexcept {
+    return marker_threshold_;
+  }
+
+ private:
+  struct Buffered {
+    net::PacketDigest id;
+    net::Timestamp time;
+  };
+
+  net::DigestEngine engine_;
+  std::uint32_t marker_threshold_;
+  std::uint32_t sample_threshold_;
+  std::vector<Buffered> buffer_;
+  std::vector<SampleRecord> emitted_;
+  std::size_t buffer_peak_ = 0;
+  std::uint64_t observed_ = 0;
+  std::uint64_t markers_ = 0;
+};
+
+}  // namespace vpm::core
+
+#endif  // VPM_CORE_SAMPLER_HPP

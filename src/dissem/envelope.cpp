@@ -1,0 +1,76 @@
+#include "dissem/envelope.hpp"
+
+#include "net/bob_hash.hpp"
+
+namespace vpm::dissem {
+namespace {
+
+constexpr std::uint8_t kEnvelopeTag = 0x21;
+// Refuse payloads above 16 MiB before allocating: a receipt batch for one
+// reporting period is kilobytes.
+constexpr std::size_t kMaxPayload = 16u << 20;
+
+}  // namespace
+
+std::uint64_t authenticate(DomainKey key,
+                           std::span<const std::byte> payload) {
+  const auto key_lo = static_cast<std::uint32_t>(key);
+  const auto key_hi = static_cast<std::uint32_t>(key >> 32);
+  const std::uint32_t a = net::bob_hash(payload, key_lo);
+  const std::uint32_t b = net::bob_hash(payload, key_hi ^ 0x9e3779b9u);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+Envelope seal(DomainId producer, std::uint64_t sequence,
+              std::vector<std::byte> payload, DomainKey key) {
+  Envelope e;
+  e.producer = producer;
+  e.sequence = sequence;
+  e.payload = std::move(payload);
+  // Bind header fields into the MAC so they cannot be swapped either.
+  net::ByteWriter bound;
+  bound.u32(producer);
+  bound.u64(sequence);
+  bound.bytes(e.payload);
+  e.mac = authenticate(key, bound.view());
+  return e;
+}
+
+bool verify(const Envelope& e, DomainKey key) {
+  net::ByteWriter bound;
+  bound.u32(e.producer);
+  bound.u64(e.sequence);
+  bound.bytes(e.payload);
+  return authenticate(key, bound.view()) == e.mac;
+}
+
+void encode(const Envelope& e, net::ByteWriter& out) {
+  out.u8(kEnvelopeTag);
+  out.u32(e.producer);
+  out.u64(e.sequence);
+  out.u32(static_cast<std::uint32_t>(e.payload.size()));
+  out.bytes(e.payload);
+  out.u64(e.mac);
+}
+
+Envelope decode_envelope(net::ByteReader& in) {
+  if (in.u8() != kEnvelopeTag) {
+    throw net::WireError("expected envelope tag");
+  }
+  Envelope e;
+  e.producer = in.u32();
+  e.sequence = in.u64();
+  const std::uint32_t len = in.u32();
+  if (len > kMaxPayload) {
+    throw net::WireError("envelope payload length implausible");
+  }
+  in.expect_at_least(len + 8);
+  e.payload.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    e.payload.push_back(static_cast<std::byte>(in.u8()));
+  }
+  e.mac = in.u64();
+  return e;
+}
+
+}  // namespace vpm::dissem

@@ -1,0 +1,58 @@
+#include "dissem/receipt_store.hpp"
+
+namespace vpm::dissem {
+
+const char* to_string(IngestResult r) {
+  switch (r) {
+    case IngestResult::kAccepted:
+      return "accepted";
+    case IngestResult::kUnknownProducer:
+      return "unknown producer";
+    case IngestResult::kBadAuthenticator:
+      return "bad authenticator";
+    case IngestResult::kStaleSequence:
+      return "stale sequence";
+  }
+  return "unknown";
+}
+
+void ReceiptStore::register_producer(DomainId producer, DomainKey key) {
+  keys_[producer] = key;
+}
+
+IngestResult ReceiptStore::ingest(Envelope envelope) {
+  const auto key_it = keys_.find(envelope.producer);
+  if (key_it == keys_.end()) {
+    ++rejected_;
+    return IngestResult::kUnknownProducer;
+  }
+  if (!verify(envelope, key_it->second)) {
+    ++rejected_;
+    return IngestResult::kBadAuthenticator;
+  }
+  auto& last = last_sequence_[envelope.producer];
+  if (!stored_[envelope.producer].empty() && envelope.sequence <= last) {
+    ++rejected_;
+    return IngestResult::kStaleSequence;
+  }
+  last = envelope.sequence;
+  const DomainId producer = envelope.producer;
+  const std::uint64_t sequence = envelope.sequence;
+  stored_[producer].emplace(sequence, std::move(envelope));
+  ++accepted_;
+  return IngestResult::kAccepted;
+}
+
+std::vector<std::span<const std::byte>> ReceiptStore::payloads_from(
+    DomainId producer) const {
+  std::vector<std::span<const std::byte>> out;
+  const auto it = stored_.find(producer);
+  if (it == stored_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [seq, env] : it->second) {
+    out.emplace_back(env.payload);
+  }
+  return out;
+}
+
+}  // namespace vpm::dissem

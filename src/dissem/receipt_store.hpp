@@ -1,0 +1,61 @@
+// The "administrative web-site" of Assumption #2: a per-producer store of
+// authenticated receipt batches that consumers poll.
+//
+// Ingest enforces the security contract: a batch is accepted only if its
+// envelope verifies under the producer's registered key and its sequence
+// number advances (replay/rollback rejection).  Consumers fetch by
+// producer; payload interpretation (receipt batch decoding) stays with the
+// caller, which owns the PathId table.
+#ifndef VPM_DISSEM_RECEIPT_STORE_HPP
+#define VPM_DISSEM_RECEIPT_STORE_HPP
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dissem/envelope.hpp"
+
+namespace vpm::dissem {
+
+enum class IngestResult : std::uint8_t {
+  kAccepted,
+  kUnknownProducer,
+  kBadAuthenticator,
+  kStaleSequence,
+};
+
+[[nodiscard]] const char* to_string(IngestResult r);
+
+class ReceiptStore {
+ public:
+  /// Register (or rotate) a producer's key.  Later envelopes must verify
+  /// under the latest key.
+  void register_producer(DomainId producer, DomainKey key);
+
+  /// Validate and file an envelope.
+  IngestResult ingest(Envelope envelope);
+
+  /// All accepted payloads from `producer`, in sequence order.
+  [[nodiscard]] std::vector<std::span<const std::byte>> payloads_from(
+      DomainId producer) const;
+
+  [[nodiscard]] std::size_t accepted_count() const noexcept {
+    return accepted_;
+  }
+  [[nodiscard]] std::size_t rejected_count() const noexcept {
+    return rejected_;
+  }
+
+ private:
+  std::unordered_map<DomainId, DomainKey> keys_;
+  std::unordered_map<DomainId, std::uint64_t> last_sequence_;
+  std::unordered_map<DomainId, std::map<std::uint64_t, Envelope>> stored_;
+  std::size_t accepted_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace vpm::dissem
+
+#endif  // VPM_DISSEM_RECEIPT_STORE_HPP

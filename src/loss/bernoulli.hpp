@@ -1,0 +1,47 @@
+// Independent (Bernoulli) per-packet loss: the memoryless baseline against
+// which the bursty Gilbert-Elliott results are compared in ablations.
+#ifndef VPM_LOSS_BERNOULLI_HPP
+#define VPM_LOSS_BERNOULLI_HPP
+
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "loss/loss_model.hpp"
+
+namespace vpm::loss {
+
+class BernoulliLoss final : public LossModel {
+ public:
+  /// Throws std::invalid_argument if rate outside [0,1].
+  BernoulliLoss(double rate, std::uint64_t seed)
+      : rate_(rate), seed_(seed), rng_(seed) {
+    if (rate < 0.0 || rate > 1.0) {
+      throw std::invalid_argument("loss rate " + std::to_string(rate) +
+                                  " outside [0,1]");
+    }
+  }
+
+  bool should_drop() override { return uniform_(rng_) < rate_; }
+  void reset() override { rng_.seed(seed_); }
+  [[nodiscard]] double expected_loss_rate() const override { return rate_; }
+
+ private:
+  double rate_;
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+/// No loss at all; useful as a default in experiment configs.
+class NoLoss final : public LossModel {
+ public:
+  bool should_drop() override { return false; }
+  void reset() override {}
+  [[nodiscard]] double expected_loss_rate() const override { return 0.0; }
+};
+
+}  // namespace vpm::loss
+
+#endif  // VPM_LOSS_BERNOULLI_HPP

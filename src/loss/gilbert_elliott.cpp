@@ -1,0 +1,89 @@
+#include "loss/gilbert_elliott.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace vpm::loss {
+namespace {
+
+void check_probability(double v, const char* name) {
+  if (v < 0.0 || v > 1.0) {
+    throw std::invalid_argument(std::string{name} + " = " +
+                                std::to_string(v) + " outside [0,1]");
+  }
+}
+
+}  // namespace
+
+GilbertElliott::GilbertElliott(Params params, std::uint64_t seed)
+    : params_(params), seed_(seed), rng_(seed) {
+  check_probability(params.p_good_to_bad, "p_good_to_bad");
+  check_probability(params.p_bad_to_good, "p_bad_to_good");
+  check_probability(params.loss_good, "loss_good");
+  check_probability(params.loss_bad, "loss_bad");
+  if (params.p_good_to_bad > 0.0 && params.p_bad_to_good == 0.0) {
+    throw std::invalid_argument(
+        "absorbing BAD state: p_bad_to_good must be > 0 when "
+        "p_good_to_bad > 0");
+  }
+}
+
+GilbertElliott GilbertElliott::with_target_loss(double target_loss,
+                                                double mean_burst_packets,
+                                                std::uint64_t seed) {
+  if (target_loss < 0.0 || target_loss >= 1.0) {
+    throw std::invalid_argument("target_loss " + std::to_string(target_loss) +
+                                " outside [0,1)");
+  }
+  if (mean_burst_packets < 1.0) {
+    throw std::invalid_argument("mean_burst_packets must be >= 1");
+  }
+  if (target_loss == 0.0) {
+    return GilbertElliott{Params{.p_good_to_bad = 0.0,
+                                 .p_bad_to_good = 1.0,
+                                 .loss_good = 0.0,
+                                 .loss_bad = 1.0},
+                          seed};
+  }
+  // BAD always drops, GOOD never: stationary BAD probability must equal
+  // target_loss.  pi_B = p/(p+r) = target  =>  p = r * target / (1-target).
+  const double r = 1.0 / mean_burst_packets;
+  const double p = r * target_loss / (1.0 - target_loss);
+  if (p > 1.0) {
+    throw std::invalid_argument(
+        "target_loss too high for requested burst length");
+  }
+  return GilbertElliott{Params{.p_good_to_bad = p,
+                               .p_bad_to_good = r,
+                               .loss_good = 0.0,
+                               .loss_bad = 1.0},
+                        seed};
+}
+
+bool GilbertElliott::should_drop() {
+  // Transition first, then emit: burst lengths then follow the geometric
+  // distribution of BAD-state sojourns exactly.
+  const double t = uniform_(rng_);
+  if (bad_) {
+    if (t < params_.p_bad_to_good) bad_ = false;
+  } else {
+    if (t < params_.p_good_to_bad) bad_ = true;
+  }
+  const double d = uniform_(rng_);
+  return d < (bad_ ? params_.loss_bad : params_.loss_good);
+}
+
+void GilbertElliott::reset() {
+  rng_.seed(seed_);
+  bad_ = false;
+}
+
+double GilbertElliott::expected_loss_rate() const {
+  const double p = params_.p_good_to_bad;
+  const double r = params_.p_bad_to_good;
+  if (p == 0.0) return params_.loss_good;
+  const double pi_bad = p / (p + r);
+  return pi_bad * params_.loss_bad + (1.0 - pi_bad) * params_.loss_good;
+}
+
+}  // namespace vpm::loss

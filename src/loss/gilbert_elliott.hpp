@@ -1,0 +1,56 @@
+// Gilbert-Elliott two-state Markov loss model (Ebert & Willig, TKN-99-002).
+//
+// State GOOD drops packets with probability `loss_good` (classically 0),
+// state BAD with probability `loss_bad` (classically 1).  Transitions
+// GOOD->BAD with probability p and BAD->GOOD with probability r per packet,
+// giving bursty losses with mean burst length 1/r and stationary BAD
+// probability p/(p+r).
+#ifndef VPM_LOSS_GILBERT_ELLIOTT_HPP
+#define VPM_LOSS_GILBERT_ELLIOTT_HPP
+
+#include <cstdint>
+#include <random>
+
+#include "loss/loss_model.hpp"
+
+namespace vpm::loss {
+
+class GilbertElliott final : public LossModel {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.0;
+    double p_bad_to_good = 1.0;
+    double loss_good = 0.0;
+    double loss_bad = 1.0;
+  };
+
+  /// Throws std::invalid_argument if any probability is outside [0,1] or
+  /// both transition probabilities are zero while states differ in loss.
+  GilbertElliott(Params params, std::uint64_t seed);
+
+  /// Convenience: parameters hitting `target_loss` overall with bursts of
+  /// mean length `mean_burst_packets` (GOOD is loss-free, BAD always
+  /// drops).  Throws std::invalid_argument if target_loss is not in [0,1)
+  /// or mean_burst_packets < 1.
+  static GilbertElliott with_target_loss(double target_loss,
+                                         double mean_burst_packets,
+                                         std::uint64_t seed);
+
+  bool should_drop() override;
+  void reset() override;
+  [[nodiscard]] double expected_loss_rate() const override;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+
+ private:
+  Params params_;
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  bool bad_ = false;
+};
+
+}  // namespace vpm::loss
+
+#endif  // VPM_LOSS_GILBERT_ELLIOTT_HPP

@@ -1,0 +1,28 @@
+// Abstract per-packet loss process.
+//
+// Section 7.2, step 2: "To introduce loss, we discard a subset of the
+// packets, chosen using the Gilbert-Elliot loss model [9]."  Experiments
+// drive one of these models over a packet sequence; each call to
+// should_drop() advances the process by one packet.
+#ifndef VPM_LOSS_LOSS_MODEL_HPP
+#define VPM_LOSS_LOSS_MODEL_HPP
+
+namespace vpm::loss {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  /// Advance one packet; true means the packet is dropped.
+  virtual bool should_drop() = 0;
+
+  /// Restart the process (fresh state, same parameters and seed sequence).
+  virtual void reset() = 0;
+
+  /// Long-run fraction of packets dropped.
+  [[nodiscard]] virtual double expected_loss_rate() const = 0;
+};
+
+}  // namespace vpm::loss
+
+#endif  // VPM_LOSS_LOSS_MODEL_HPP

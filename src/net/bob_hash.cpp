@@ -1,0 +1,144 @@
+#include "net/bob_hash.hpp"
+
+#include <cstring>
+
+namespace vpm::net {
+namespace {
+
+constexpr std::uint32_t rot(std::uint32_t x, unsigned k) noexcept {
+  return (x << k) | (x >> (32u - k));
+}
+
+// lookup3 mix(): reversible mixing of three 32-bit states.
+constexpr void mix(std::uint32_t& a, std::uint32_t& b,
+                   std::uint32_t& c) noexcept {
+  a -= c;
+  a ^= rot(c, 4);
+  c += b;
+  b -= a;
+  b ^= rot(a, 6);
+  a += c;
+  c -= b;
+  c ^= rot(b, 8);
+  b += a;
+  a -= c;
+  a ^= rot(c, 16);
+  c += b;
+  b -= a;
+  b ^= rot(a, 19);
+  a += c;
+  c -= b;
+  c ^= rot(b, 4);
+  b += a;
+}
+
+// lookup3 final(): irreversible finalisation of three 32-bit states.
+constexpr void final_mix(std::uint32_t& a, std::uint32_t& b,
+                         std::uint32_t& c) noexcept {
+  c ^= b;
+  c -= rot(b, 14);
+  a ^= c;
+  a -= rot(c, 11);
+  b ^= a;
+  b -= rot(a, 25);
+  c ^= b;
+  c -= rot(b, 16);
+  a ^= c;
+  a -= rot(c, 4);
+  b ^= a;
+  b -= rot(a, 14);
+  c ^= b;
+  c -= rot(b, 24);
+}
+
+// Read up to 4 little-endian bytes from `p` (length `n` in [1,4]).
+std::uint32_t load_le(const std::byte* p, std::size_t n) noexcept {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8u * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t bob_hash(std::span<const std::byte> key,
+                       std::uint32_t initval) noexcept {
+  // hashlittle() from lookup3.c, byte-at-a-time variant: identical output
+  // on all architectures (the original switches on alignment only as an
+  // optimisation; results agree).
+  const std::size_t length = key.size();
+  std::uint32_t a = 0xdeadbeefu + static_cast<std::uint32_t>(length) + initval;
+  std::uint32_t b = a;
+  std::uint32_t c = a;
+
+  const std::byte* k = key.data();
+  std::size_t len = length;
+  while (len > 12) {
+    a += load_le(k, 4);
+    b += load_le(k + 4, 4);
+    c += load_le(k + 8, 4);
+    mix(a, b, c);
+    len -= 12;
+    k += 12;
+  }
+
+  // Last block: affect all of (a,b,c).
+  if (len == 0) return c;  // zero-length tail: skip final mix per lookup3
+  if (len <= 4) {
+    a += load_le(k, len);
+  } else if (len <= 8) {
+    a += load_le(k, 4);
+    b += load_le(k + 4, len - 4);
+  } else {
+    a += load_le(k, 4);
+    b += load_le(k + 4, 4);
+    c += load_le(k + 8, len - 8);
+  }
+  final_mix(a, b, c);
+  return c;
+}
+
+std::uint32_t bob_hash_words(std::span<const std::uint32_t> key,
+                             std::uint32_t initval) noexcept {
+  // hashword() from lookup3.c.
+  std::size_t length = key.size();
+  std::uint32_t a =
+      0xdeadbeefu + (static_cast<std::uint32_t>(length) << 2) + initval;
+  std::uint32_t b = a;
+  std::uint32_t c = a;
+
+  const std::uint32_t* k = key.data();
+  while (length > 3) {
+    a += k[0];
+    b += k[1];
+    c += k[2];
+    mix(a, b, c);
+    length -= 3;
+    k += 3;
+  }
+  switch (length) {
+    case 3:
+      c += k[2];
+      [[fallthrough]];
+    case 2:
+      b += k[1];
+      [[fallthrough]];
+    case 1:
+      a += k[0];
+      final_mix(a, b, c);
+      break;
+    case 0:
+      break;
+  }
+  return c;
+}
+
+std::uint32_t bob_hash_pair(std::uint32_t a, std::uint32_t b,
+                            std::uint32_t initval) noexcept {
+  const std::uint32_t words[2] = {a, b};
+  return bob_hash_words(words, initval);
+}
+
+}  // namespace vpm::net

@@ -1,0 +1,34 @@
+// Bob Jenkins' lookup3 hash ("Bob" hash), implemented from the public-domain
+// specification (lookup3.c, May 2006).
+//
+// The paper computes packet digests with the "Bob" hash because Molina,
+// Niccolini and Duffield showed it behaves close to uniform on real packet
+// headers [19].  VPM's marker rule (digest > mu), cut rule (digest > delta)
+// and SampleFcn all rely on this uniformity, so we reproduce the exact
+// algorithm rather than substituting std::hash.
+#ifndef VPM_NET_BOB_HASH_HPP
+#define VPM_NET_BOB_HASH_HPP
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace vpm::net {
+
+/// Hash a byte string.  `initval` seeds the hash; different seeds give
+/// independent hash functions over the same input.
+[[nodiscard]] std::uint32_t bob_hash(std::span<const std::byte> key,
+                                     std::uint32_t initval) noexcept;
+
+/// Hash an array of 32-bit words (lookup3's hashword); used for digest
+/// pairs such as SampleFcn(digest_q, digest_marker).
+[[nodiscard]] std::uint32_t bob_hash_words(std::span<const std::uint32_t> key,
+                                           std::uint32_t initval) noexcept;
+
+/// Convenience: hash two words (the SampleFcn shape from Algorithm 1).
+[[nodiscard]] std::uint32_t bob_hash_pair(std::uint32_t a, std::uint32_t b,
+                                          std::uint32_t initval) noexcept;
+
+}  // namespace vpm::net
+
+#endif  // VPM_NET_BOB_HASH_HPP

@@ -1,0 +1,101 @@
+#include "net/digest.hpp"
+
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/bob_hash.hpp"
+
+namespace vpm::net {
+namespace {
+
+// Role seeds: arbitrary distinct constants fixed at protocol design time
+// (system-wide, like the marker threshold mu in Section 5.1).
+constexpr std::uint32_t kIdSeed = 0x56504d31u;      // "VPM1"
+constexpr std::uint32_t kMarkerSeed = 0x4d41524bu;  // "MARK"
+constexpr std::uint32_t kCutSeed = 0x43555421u;     // "CUT!"
+constexpr std::uint32_t kSampleSeed = 0x53414d50u;  // "SAMP"
+
+}  // namespace
+
+std::uint32_t DigestEngine::hash_fields(const Packet& p,
+                                        std::uint32_t seed) const noexcept {
+  // Serialize the selected fields into a fixed on-stack buffer.  Layout is
+  // part of the protocol: every HOP must produce identical bytes.
+  std::byte buf[32];
+  std::size_t n = 0;
+  auto put32 = [&](std::uint32_t v) {
+    std::memcpy(buf + n, &v, 4);
+    n += 4;
+  };
+  auto put16 = [&](std::uint16_t v) {
+    std::memcpy(buf + n, &v, 2);
+    n += 2;
+  };
+  auto put64 = [&](std::uint64_t v) {
+    std::memcpy(buf + n, &v, 8);
+    n += 8;
+  };
+
+  const PacketHeader& h = p.header;
+  if (spec_.addresses) {
+    put32(h.src.value());
+    put32(h.dst.value());
+  }
+  if (spec_.ports) {
+    put16(h.src_port);
+    put16(h.dst_port);
+  }
+  if (spec_.protocol) {
+    buf[n++] = static_cast<std::byte>(h.protocol);
+  }
+  if (spec_.ip_id) {
+    put16(h.ip_id);
+  }
+  if (spec_.payload_prefix) {
+    put64(p.payload_prefix);
+  }
+  if (spec_.length) {
+    put16(h.total_length);
+  }
+  return bob_hash({buf, n}, seed);
+}
+
+PacketDigest DigestEngine::packet_id(const Packet& p) const noexcept {
+  return hash_fields(p, kIdSeed);
+}
+
+std::uint32_t DigestEngine::marker_value(const Packet& p) const noexcept {
+  if (mode_ == DigestMode::kSingle) return packet_id(p);
+  return hash_fields(p, kMarkerSeed);
+}
+
+std::uint32_t DigestEngine::cut_value(const Packet& p) const noexcept {
+  if (mode_ == DigestMode::kSingle) return packet_id(p);
+  return hash_fields(p, kCutSeed);
+}
+
+std::uint32_t DigestEngine::sample_value(PacketDigest q_id,
+                                         PacketDigest marker_id) noexcept {
+  return bob_hash_pair(q_id, marker_id, kSampleSeed);
+}
+
+std::uint32_t rate_to_threshold(double rate) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument("rate " + std::to_string(rate) +
+                                " outside [0,1]");
+  }
+  // P(U > t) = (2^32 - 1 - t) / 2^32 for U uniform over [0, 2^32).
+  const double kRange = 4294967296.0;  // 2^32
+  const double cutoff = kRange * (1.0 - rate) - 1.0;
+  if (cutoff <= 0.0) return 0;
+  if (cutoff >= kRange - 1.0) return 0xFFFFFFFFu;
+  return static_cast<std::uint32_t>(cutoff);
+}
+
+double threshold_to_rate(std::uint32_t threshold) noexcept {
+  const double kRange = 4294967296.0;
+  return (kRange - 1.0 - static_cast<double>(threshold)) / kRange;
+}
+
+}  // namespace vpm::net

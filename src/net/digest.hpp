@@ -1,0 +1,103 @@
+// Packet digests and the decision values derived from them.
+//
+// Section 4: "The packet identifier PktID is a digest of the packet's
+// headers"; Section 7: the implementation uses the "Bob" hash over each
+// packet's IP and transport headers plus a small payload portion.
+//
+// VPM derives three per-packet decisions from digests:
+//   * packet id   -- the PktID reported in receipts,
+//   * marker rule -- Digest(p) > mu starts a sampling round (Algorithm 1),
+//   * cut rule    -- Digest(p) > delta starts a new aggregate (Algorithm 2),
+// plus SampleFcn(Digest(q), Digest(marker)) > sigma for sample selection.
+//
+// The paper uses a single digest value for all roles.  We support that
+// (DigestMode::kSingle) and an independent-seeds variant (kIndependent,
+// default) where marker/cut/sample decisions come from independently seeded
+// hashes, so e.g. marker packets are not automatically cut points.  Both
+// preserve the determinism that the subset properties (Sections 5.2, 6.2)
+// rely on; the ablation bench compares them.
+#ifndef VPM_NET_DIGEST_HPP
+#define VPM_NET_DIGEST_HPP
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace vpm::net {
+
+/// Which packet fields the digest covers.  Receipts carry the spec id so a
+/// verifier knows two HOPs hashed the same bytes (PathID.HeaderSpec, §4).
+struct HeaderSpec {
+  bool addresses = true;
+  bool ports = true;
+  bool protocol = true;
+  bool ip_id = true;
+  bool payload_prefix = true;
+  bool length = false;  ///< excluded by default: some links alter framing
+
+  /// Compact identifier for the wire format.
+  [[nodiscard]] std::uint8_t id() const noexcept {
+    return static_cast<std::uint8_t>(
+        (addresses ? 1u : 0u) | (ports ? 2u : 0u) | (protocol ? 4u : 0u) |
+        (ip_id ? 8u : 0u) | (payload_prefix ? 16u : 0u) | (length ? 32u : 0u));
+  }
+  [[nodiscard]] static HeaderSpec from_id(std::uint8_t id) noexcept {
+    return HeaderSpec{.addresses = (id & 1u) != 0,
+                      .ports = (id & 2u) != 0,
+                      .protocol = (id & 4u) != 0,
+                      .ip_id = (id & 8u) != 0,
+                      .payload_prefix = (id & 16u) != 0,
+                      .length = (id & 32u) != 0};
+  }
+  friend bool operator==(const HeaderSpec&, const HeaderSpec&) = default;
+};
+
+enum class DigestMode : std::uint8_t {
+  kSingle,       ///< paper-faithful: one digest value for id/marker/cut
+  kIndependent,  ///< independently seeded hashes per role (default)
+};
+
+/// A 32-bit packet digest (the paper's 4-byte PktID).
+using PacketDigest = std::uint32_t;
+
+/// Computes all digest-derived values for packets.  Every HOP in a
+/// deployment must construct this with identical parameters — it is part of
+/// the protocol definition, not a local tuning knob.
+class DigestEngine {
+ public:
+  explicit DigestEngine(HeaderSpec spec = HeaderSpec{},
+                        DigestMode mode = DigestMode::kIndependent) noexcept
+      : spec_(spec), mode_(mode) {}
+
+  [[nodiscard]] const HeaderSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] DigestMode mode() const noexcept { return mode_; }
+
+  /// The PktID reported in receipts.
+  [[nodiscard]] PacketDigest packet_id(const Packet& p) const noexcept;
+  /// Value compared against the marker threshold mu (Algorithm 1, line 1).
+  [[nodiscard]] std::uint32_t marker_value(const Packet& p) const noexcept;
+  /// Value compared against the partition threshold delta (Alg. 2, line 1).
+  [[nodiscard]] std::uint32_t cut_value(const Packet& p) const noexcept;
+
+  /// SampleFcn(Digest(q), Digest(marker)) from Algorithm 1, line 3.  Static:
+  /// it must be the same function at every HOP for the subset property.
+  [[nodiscard]] static std::uint32_t sample_value(
+      PacketDigest q_id, PacketDigest marker_id) noexcept;
+
+ private:
+  [[nodiscard]] std::uint32_t hash_fields(const Packet& p,
+                                          std::uint32_t seed) const noexcept;
+
+  HeaderSpec spec_;
+  DigestMode mode_;
+};
+
+/// Convert a target rate in [0,1] to a `value > threshold` cutoff over the
+/// uniform 32-bit digest range: P(value > threshold) == rate (up to 2^-32).
+[[nodiscard]] std::uint32_t rate_to_threshold(double rate);
+/// Inverse of rate_to_threshold.
+[[nodiscard]] double threshold_to_rate(std::uint32_t threshold) noexcept;
+
+}  // namespace vpm::net
+
+#endif  // VPM_NET_DIGEST_HPP

@@ -1,0 +1,60 @@
+#include "net/lpm.hpp"
+
+namespace vpm::net {
+
+struct LpmTable::Node {
+  std::optional<std::uint32_t> value;
+  std::unique_ptr<Node> child[2];
+};
+
+LpmTable::LpmTable() : root_(std::make_unique<Node>()) {}
+LpmTable::~LpmTable() = default;
+LpmTable::LpmTable(LpmTable&&) noexcept = default;
+LpmTable& LpmTable::operator=(LpmTable&&) noexcept = default;
+
+namespace {
+
+/// Bit `i` of the address, counting from the most significant.
+unsigned bit_at(std::uint32_t addr, unsigned i) {
+  return (addr >> (31u - i)) & 1u;
+}
+
+}  // namespace
+
+void LpmTable::insert(const Prefix& prefix, std::uint32_t value) {
+  Node* node = root_.get();
+  const std::uint32_t addr = prefix.network().value();
+  for (unsigned i = 0; i < prefix.length(); ++i) {
+    const unsigned b = bit_at(addr, i);
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+  }
+  if (!node->value.has_value()) ++entries_;
+  node->value = value;
+}
+
+std::optional<std::uint32_t> LpmTable::lookup(Ipv4Address addr) const {
+  std::optional<std::uint32_t> best = root_->value;
+  const Node* node = root_.get();
+  const std::uint32_t a = addr.value();
+  for (unsigned i = 0; i < 32; ++i) {
+    const Node* next = node->child[bit_at(a, i)].get();
+    if (next == nullptr) break;
+    node = next;
+    if (node->value.has_value()) best = node->value;
+  }
+  return best;
+}
+
+std::optional<std::uint32_t> LpmTable::exact(const Prefix& p) const {
+  const Node* node = root_.get();
+  const std::uint32_t addr = p.network().value();
+  for (unsigned i = 0; i < p.length(); ++i) {
+    const Node* next = node->child[bit_at(addr, i)].get();
+    if (next == nullptr) return std::nullopt;
+    node = next;
+  }
+  return node->value;
+}
+
+}  // namespace vpm::net

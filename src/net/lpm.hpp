@@ -1,0 +1,44 @@
+// Longest-prefix-match over IPv4 prefixes: a binary trie, as a router FIB
+// would use.  Shared by the pipeline's route lookup and the
+// variable-length path classifier.
+#ifndef VPM_NET_LPM_HPP
+#define VPM_NET_LPM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "net/prefix.hpp"
+
+namespace vpm::net {
+
+/// Maps prefixes to 32-bit values with longest-match lookup.
+class LpmTable {
+ public:
+  LpmTable();
+  ~LpmTable();
+  LpmTable(LpmTable&&) noexcept;
+  LpmTable& operator=(LpmTable&&) noexcept;
+  LpmTable(const LpmTable&) = delete;
+  LpmTable& operator=(const LpmTable&) = delete;
+
+  /// Insert or overwrite the value at `prefix`.
+  void insert(const Prefix& prefix, std::uint32_t value);
+
+  /// Value of the longest prefix containing `addr`, if any.
+  [[nodiscard]] std::optional<std::uint32_t> lookup(Ipv4Address addr) const;
+
+  /// Exact-prefix fetch (no LPM semantics).
+  [[nodiscard]] std::optional<std::uint32_t> exact(const Prefix& p) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_; }
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace vpm::net
+
+#endif  // VPM_NET_LPM_HPP

@@ -1,0 +1,57 @@
+// The packet model.
+//
+// VPM's data plane only ever looks at a packet's IP + transport headers and
+// a small payload portion (Assumption #3, Section 2.3), so that is all we
+// model.  The `sequence` and `origin_time` fields are *experiment ground
+// truth*: the protocol code never reads them; they exist so benchmarks can
+// score estimates against reality.
+#ifndef VPM_NET_PACKET_HPP
+#define VPM_NET_PACKET_HPP
+
+#include <cstdint>
+
+#include "net/prefix.hpp"
+#include "net/time.hpp"
+
+namespace vpm::net {
+
+/// IP protocol numbers we generate.
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+  kIcmp = 1,
+};
+
+/// The header fields a HOP can see and hash (IP + transport).
+struct PacketHeader {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t ip_id = 0;        ///< IP identification field
+  std::uint16_t total_length = 0; ///< bytes, including headers
+  IpProto protocol = IpProto::kUdp;
+  std::uint8_t tos = 0;
+};
+
+/// A packet as carried through the simulator and observed by HOPs.
+struct Packet {
+  PacketHeader header;
+  /// First 8 payload bytes; part of the digest input so that two packets
+  /// with identical headers still (usually) hash differently.
+  std::uint64_t payload_prefix = 0;
+
+  // --- ground truth, invisible to the protocol ---
+  std::uint64_t sequence = 0;  ///< generation order at the source
+  Timestamp origin_time;       ///< send time at the source domain
+};
+
+/// A packet observation at a HOP: what the monitoring hardware sees.
+struct Observation {
+  Packet packet;
+  Timestamp when;  ///< local clock at the observing HOP
+};
+
+}  // namespace vpm::net
+
+#endif  // VPM_NET_PACKET_HPP

@@ -1,0 +1,31 @@
+#include "net/path_id.hpp"
+
+#include "net/bob_hash.hpp"
+
+namespace vpm::net {
+
+std::uint64_t PathId::path_key() const noexcept {
+  const std::uint32_t words[6] = {
+      prefixes.source.network().value(),
+      prefixes.destination.network().value(),
+      static_cast<std::uint32_t>(prefixes.source.length()) << 8 |
+          prefixes.destination.length(),
+      header_spec_id,
+      0u,
+      0u,
+  };
+  const std::uint32_t lo = bob_hash_words({words, 6}, 0x50415448u);  // "PATH"
+  const std::uint32_t hi = bob_hash_words({words, 6}, lo);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+std::string PathId::to_string() const {
+  auto hop_str = [](HopId h) {
+    return h == kNoHop ? std::string{"-"} : std::to_string(h);
+  };
+  return "[" + prefixes.to_string() + " prev=" + hop_str(previous_hop) +
+         " next=" + hop_str(next_hop) +
+         " maxdiff=" + std::to_string(max_diff.milliseconds()) + "ms]";
+}
+
+}  // namespace vpm::net

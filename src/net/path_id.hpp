@@ -1,0 +1,62 @@
+// HOP identifiers and PathID: the per-path context carried in receipts.
+//
+// Section 4: PathID = <HeaderSpec, PreviousHOP, NextHOP, MaxDiff>, where
+// MaxDiff is the agreed upper bound on timestamp differences across the
+// reporting HOP's inter-domain link (consistency rule Eq. 2).  We also keep
+// the origin-prefix pair that names the HOP path (Section 2), since the
+// HeaderSpec "includes at least a source and destination origin-prefix
+// pair".
+#ifndef VPM_NET_PATH_ID_HPP
+#define VPM_NET_PATH_ID_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/digest.hpp"
+#include "net/prefix.hpp"
+#include "net/time.hpp"
+
+namespace vpm::net {
+
+/// Globally unique hand-off point identifier (the numbered boxes of Fig. 1).
+using HopId = std::uint32_t;
+
+/// Sentinel for "no HOP here" (path source before the first HOP, or path
+/// destination after the last).
+inline constexpr HopId kNoHop = 0xFFFFFFFFu;
+
+/// The path context a HOP stamps on every receipt it produces.
+struct PathId {
+  std::uint8_t header_spec_id = HeaderSpec{}.id();
+  PrefixPair prefixes;
+  HopId previous_hop = kNoHop;
+  HopId next_hop = kNoHop;
+  /// Upper bound on cross-link timestamp difference, agreed with the HOP at
+  /// the other end of this HOP's inter-domain link on this path.
+  Duration max_diff;
+
+  friend bool operator==(const PathId&, const PathId&) = default;
+
+  /// Key identifying the HOP path itself (prefix pair + header spec),
+  /// ignoring the reporter-specific fields.  Receipts about the same
+  /// traffic from different HOPs share this key.
+  [[nodiscard]] std::uint64_t path_key() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace vpm::net
+
+template <>
+struct std::hash<vpm::net::PathId> {
+  std::size_t operator()(const vpm::net::PathId& p) const noexcept {
+    std::size_t h = std::hash<std::uint64_t>{}(p.path_key());
+    h ^= std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.previous_hop) << 32) | p.next_hop);
+    h ^= std::hash<std::int64_t>{}(p.max_diff.nanoseconds()) << 1;
+    return h;
+  }
+};
+
+#endif  // VPM_NET_PATH_ID_HPP

@@ -1,0 +1,89 @@
+#include "net/prefix.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace vpm::net {
+namespace {
+
+// Parse an integer in [0, max]; advances `pos` past the digits.
+std::uint32_t parse_component(const std::string& text, std::size_t& pos,
+                              std::uint32_t max, const char* what) {
+  const char* begin = text.data() + pos;
+  const char* end = text.data() + text.size();
+  std::uint32_t value = 0;
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > max) {
+    throw std::invalid_argument(std::string{"bad "} + what + " in '" + text +
+                                "'");
+  }
+  pos += static_cast<std::size_t>(ptr - begin);
+  return value;
+}
+
+void expect_char(const std::string& text, std::size_t& pos, char c) {
+  if (pos >= text.size() || text[pos] != c) {
+    throw std::invalid_argument("expected '" + std::string{c} + "' in '" +
+                                text + "'");
+  }
+  ++pos;
+}
+
+}  // namespace
+
+Ipv4Address Ipv4Address::parse(const std::string& text) {
+  std::size_t pos = 0;
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) expect_char(text, pos, '.');
+    value = (value << 8) | parse_component(text, pos, 255, "octet");
+  }
+  if (pos != text.size()) {
+    throw std::invalid_argument("trailing characters in '" + text + "'");
+  }
+  return Ipv4Address{value};
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xffu,
+                (value_ >> 16) & 0xffu, (value_ >> 8) & 0xffu, value_ & 0xffu);
+  return buf;
+}
+
+Prefix::Prefix(Ipv4Address network, std::uint8_t length)
+    : network_(network), length_(length) {
+  if (length > 32) {
+    throw std::invalid_argument("prefix length " + std::to_string(length) +
+                                " > 32");
+  }
+  if ((network.value() & ~mask()) != 0) {
+    throw std::invalid_argument("prefix " + network.to_string() + "/" +
+                                std::to_string(length) +
+                                " has host bits set");
+  }
+}
+
+Prefix Prefix::parse(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("missing '/' in prefix '" + text + "'");
+  }
+  const Ipv4Address addr = Ipv4Address::parse(text.substr(0, slash));
+  std::size_t pos = slash + 1;
+  const std::uint32_t len = parse_component(text, pos, 32, "prefix length");
+  if (pos != text.size()) {
+    throw std::invalid_argument("trailing characters in '" + text + "'");
+  }
+  return Prefix{addr, static_cast<std::uint8_t>(len)};
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+std::string PrefixPair::to_string() const {
+  return source.to_string() + " -> " + destination.to_string();
+}
+
+}  // namespace vpm::net

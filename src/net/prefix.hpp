@@ -1,0 +1,113 @@
+// IPv4 addresses and routing prefixes.
+//
+// VPM names HOP paths by their source and destination *origin prefixes* as
+// advertised in BGP (Section 2): all packets whose src/dst fall into the
+// same origin-prefix pair are assumed to follow the same HOP path
+// (Assumption #1).  This module provides the address/prefix types the
+// classifier uses.
+#ifndef VPM_NET_PREFIX_HPP
+#define VPM_NET_PREFIX_HPP
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace vpm::net {
+
+/// An IPv4 address in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  /// Build from dotted-quad octets.
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) |
+               static_cast<std::uint32_t>(d)) {}
+
+  /// Parse "a.b.c.d"; throws std::invalid_argument on malformed input.
+  static Ipv4Address parse(const std::string& text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv4 routing prefix (address + mask length).
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  /// Throws std::invalid_argument if `length > 32` or the address has bits
+  /// set outside the mask.
+  Prefix(Ipv4Address network, std::uint8_t length);
+
+  /// Parse "a.b.c.d/len"; throws std::invalid_argument on malformed input.
+  static Prefix parse(const std::string& text);
+
+  [[nodiscard]] constexpr Ipv4Address network() const { return network_; }
+  [[nodiscard]] constexpr std::uint8_t length() const { return length_; }
+  [[nodiscard]] constexpr std::uint32_t mask() const {
+    return length_ == 0 ? 0u : ~std::uint32_t{0} << (32 - length_);
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address addr) const {
+    return (addr.value() & mask()) == network_.value();
+  }
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const {
+    return other.length_ >= length_ && contains(other.network_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Prefix&) const = default;
+
+ private:
+  Ipv4Address network_;
+  std::uint8_t length_ = 0;
+};
+
+/// A (source origin prefix, destination origin prefix) pair: the name of a
+/// HOP path per Section 2's definition.
+struct PrefixPair {
+  Prefix source;
+  Prefix destination;
+
+  constexpr auto operator<=>(const PrefixPair&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace vpm::net
+
+template <>
+struct std::hash<vpm::net::Ipv4Address> {
+  std::size_t operator()(const vpm::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<vpm::net::Prefix> {
+  std::size_t operator()(const vpm::net::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.network().value()) << 8) | p.length());
+  }
+};
+
+template <>
+struct std::hash<vpm::net::PrefixPair> {
+  std::size_t operator()(const vpm::net::PrefixPair& pp) const noexcept {
+    const std::size_t h1 = std::hash<vpm::net::Prefix>{}(pp.source);
+    const std::size_t h2 = std::hash<vpm::net::Prefix>{}(pp.destination);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ull + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+#endif  // VPM_NET_PREFIX_HPP

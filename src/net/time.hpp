@@ -1,0 +1,112 @@
+// Strong nanosecond time types used throughout libvpm.
+//
+// The paper's receipts carry packet observation timestamps (Section 4) and
+// the consistency rules (Eq. 1-2) compare timestamp differences against a
+// per-link MaxDiff.  We keep all times as signed 64-bit nanosecond counts:
+// wide enough for any experiment, cheap to copy, and strongly typed so a
+// Duration cannot be mistaken for a Timestamp.
+#ifndef VPM_NET_TIME_HPP
+#define VPM_NET_TIME_HPP
+
+#include <compare>
+#include <cstdint>
+
+namespace vpm::net {
+
+/// A span of time in nanoseconds (signed: clock skew can be negative).
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t nanoseconds() const { return ns_; }
+  [[nodiscard]] constexpr double microseconds() const {
+    return static_cast<double>(ns_) / 1e3;
+  }
+  [[nodiscard]] constexpr double milliseconds() const {
+    return static_cast<double>(ns_) / 1e6;
+  }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration{ns_ + o.ns_};
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration{ns_ - o.ns_};
+  }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const {
+    return Duration{ns_ * k};
+  }
+  constexpr Duration operator/(std::int64_t k) const {
+    return Duration{ns_ / k};
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute point in time, nanoseconds since an arbitrary epoch.
+class Timestamp {
+ public:
+  constexpr Timestamp() = default;
+  constexpr explicit Timestamp(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t nanoseconds() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  constexpr auto operator<=>(const Timestamp&) const = default;
+
+  constexpr Timestamp operator+(Duration d) const {
+    return Timestamp{ns_ + d.nanoseconds()};
+  }
+  constexpr Timestamp operator-(Duration d) const {
+    return Timestamp{ns_ - d.nanoseconds()};
+  }
+  constexpr Duration operator-(Timestamp o) const {
+    return Duration{ns_ - o.ns_};
+  }
+  constexpr Timestamp& operator+=(Duration d) {
+    ns_ += d.nanoseconds();
+    return *this;
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+// Convenience literal-style constructors.
+[[nodiscard]] constexpr Duration nanoseconds(std::int64_t v) {
+  return Duration{v};
+}
+[[nodiscard]] constexpr Duration microseconds(std::int64_t v) {
+  return Duration{v * 1'000};
+}
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t v) {
+  return Duration{v * 1'000'000};
+}
+[[nodiscard]] constexpr Duration seconds(std::int64_t v) {
+  return Duration{v * 1'000'000'000};
+}
+/// Fractional seconds, for rate math (truncates toward zero).
+[[nodiscard]] constexpr Duration seconds_f(double v) {
+  return Duration{static_cast<std::int64_t>(v * 1e9)};
+}
+
+}  // namespace vpm::net
+
+#endif  // VPM_NET_TIME_HPP

@@ -1,0 +1,110 @@
+// Bounds-checked binary serialization primitives for the receipt wire
+// format (little-endian, fixed-width fields).
+//
+// Receipts cross trust boundaries — a verifier parses receipts produced by
+// *other domains* (Section 4), so the reader must treat input as hostile:
+// every read is bounds-checked and malformed input raises WireError rather
+// than corrupting state.
+#ifndef VPM_NET_WIRE_HPP
+#define VPM_NET_WIRE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vpm::net {
+
+/// Raised on truncated or malformed wire input.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian byte sink.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { put_le(v, 2); }
+  /// 24-bit field: the paper's 3-byte timestamps (Section 7.1).
+  void u24(std::uint32_t v) { put_le(v & 0xFFFFFFu, 3); }
+  void u32(std::uint32_t v) { put_le(v, 4); }
+  void u64(std::uint64_t v) { put_le(v, 8); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v), 8); }
+  void bytes(std::span<const std::byte> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  [[nodiscard]] std::span<const std::byte> view() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void put_le(std::uint64_t v, unsigned nbytes) {
+    for (unsigned i = 0; i < nbytes; ++i) {
+      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+  std::vector<std::byte> buf_;
+};
+
+/// Sequential bounds-checked little-endian reader over a byte view.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    return static_cast<std::uint8_t>(get_le(1));
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    return static_cast<std::uint16_t>(get_le(2));
+  }
+  [[nodiscard]] std::uint32_t u24() {
+    return static_cast<std::uint32_t>(get_le(3));
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    return static_cast<std::uint32_t>(get_le(4));
+  }
+  [[nodiscard]] std::uint64_t u64() { return get_le(8); }
+  [[nodiscard]] std::int64_t i64() {
+    return static_cast<std::int64_t>(get_le(8));
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+
+  /// Require exactly `n` more bytes (for validating counted sections).
+  void expect_at_least(std::size_t n) const {
+    if (remaining() < n) {
+      throw WireError("truncated input: need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(remaining()));
+    }
+  }
+
+ private:
+  std::uint64_t get_le(unsigned nbytes) {
+    expect_at_least(nbytes);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < nbytes; ++i) {
+      v |= static_cast<std::uint64_t>(
+               std::to_integer<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += nbytes;
+    return v;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace vpm::net
+
+#endif  // VPM_NET_WIRE_HPP

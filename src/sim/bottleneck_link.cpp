@@ -1,0 +1,53 @@
+#include "sim/bottleneck_link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace vpm::sim {
+
+BottleneckLink::BottleneckLink(EventQueue& events, double bandwidth_bps,
+                               std::size_t buffer_bytes,
+                               net::Duration propagation)
+    : events_(events),
+      bandwidth_bps_(bandwidth_bps),
+      buffer_bytes_(buffer_bytes),
+      propagation_(propagation) {
+  if (bandwidth_bps <= 0.0) {
+    throw std::invalid_argument("bandwidth must be positive");
+  }
+  if (buffer_bytes == 0) {
+    throw std::invalid_argument("buffer must be positive");
+  }
+}
+
+bool BottleneckLink::offer(std::size_t bytes, DeliveryFn on_delivered) {
+  if (queued_bytes_ + bytes > buffer_bytes_) {
+    ++drops_;
+    return false;
+  }
+  queued_bytes_ += bytes;
+
+  const net::Timestamp now = events_.now();
+  const net::Timestamp start = std::max(now, busy_until_);
+  const auto tx_ns = static_cast<std::int64_t>(
+      static_cast<double>(bytes) * 8.0 / bandwidth_bps_ * 1e9);
+  const net::Timestamp done = start + net::Duration{tx_ns};
+  busy_until_ = done;
+
+  events_.schedule(done, [this, bytes, done,
+                          cb = std::move(on_delivered)]() mutable {
+    queued_bytes_ -= bytes;
+    ++delivered_;
+    if (cb) cb(done + propagation_);
+  });
+  return true;
+}
+
+net::Duration BottleneckLink::current_backlog_delay() const noexcept {
+  const net::Timestamp now = events_.now();
+  if (busy_until_ <= now) return net::Duration{0};
+  return busy_until_ - now;
+}
+
+}  // namespace vpm::sim

@@ -1,0 +1,56 @@
+// A fixed-rate link with a DropTail FIFO buffer — the congestion mechanism
+// behind the paper's Figure 2 delay series ("long-lived TCP or UDP flows
+// compete for/saturate the bandwidth of a bottleneck link", §7.2).
+#ifndef VPM_SIM_BOTTLENECK_LINK_HPP
+#define VPM_SIM_BOTTLENECK_LINK_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+
+namespace vpm::sim {
+
+class BottleneckLink {
+ public:
+  /// Called when a packet fully arrives at the far end (after transmission
+  /// and propagation).
+  using DeliveryFn = std::function<void(net::Timestamp delivered_at)>;
+
+  /// Throws std::invalid_argument on non-positive bandwidth or buffer.
+  BottleneckLink(EventQueue& events, double bandwidth_bps,
+                 std::size_t buffer_bytes, net::Duration propagation);
+
+  /// Offer a packet of `bytes` to the queue at the current simulation
+  /// time.  Returns false (and drops) if the buffer cannot hold it.
+  bool offer(std::size_t bytes, DeliveryFn on_delivered);
+
+  [[nodiscard]] std::size_t queued_bytes() const noexcept {
+    return queued_bytes_;
+  }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept {
+    return delivered_;
+  }
+  [[nodiscard]] double bandwidth_bps() const noexcept {
+    return bandwidth_bps_;
+  }
+
+  /// Current queueing delay a newly arriving byte would see (excludes
+  /// propagation).
+  [[nodiscard]] net::Duration current_backlog_delay() const noexcept;
+
+ private:
+  EventQueue& events_;
+  double bandwidth_bps_;
+  std::size_t buffer_bytes_;
+  net::Duration propagation_;
+  std::size_t queued_bytes_ = 0;
+  net::Timestamp busy_until_;  // when the transmitter frees up
+  std::uint64_t drops_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace vpm::sim
+
+#endif  // VPM_SIM_BOTTLENECK_LINK_HPP

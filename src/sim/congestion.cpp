@@ -1,0 +1,90 @@
+#include "sim/congestion.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/bottleneck_link.hpp"
+#include "sim/event_queue.hpp"
+
+namespace vpm::sim {
+
+CongestionResult simulate_congestion(const CongestionConfig& cfg,
+                                     std::span<const net::Packet> foreground) {
+  if (foreground.empty()) {
+    throw std::invalid_argument("simulate_congestion: empty foreground");
+  }
+
+  EventQueue events;
+  BottleneckLink link(events, cfg.bottleneck_bps, cfg.buffer_bytes,
+                      cfg.propagation);
+
+  // Background load.
+  std::vector<std::unique_ptr<TcpFlow>> tcp_flows;
+  std::unique_ptr<UdpOnOffFlow> udp;
+  const bool want_tcp = cfg.kind == CongestionKind::kLongLivedTcp ||
+                        cfg.kind == CongestionKind::kMixed;
+  const bool want_udp = cfg.kind == CongestionKind::kBurstyUdp ||
+                        cfg.kind == CongestionKind::kMixed;
+  if (want_tcp) {
+    for (int i = 0; i < cfg.tcp_flow_count; ++i) {
+      TcpFlow::Config tc;
+      tc.base_rtt = net::milliseconds(10 + 5 * i);  // staggered RTTs
+      tcp_flows.push_back(std::make_unique<TcpFlow>(events, link, tc));
+      tcp_flows.back()->start(net::Timestamp{0});
+    }
+  }
+  if (want_udp) {
+    UdpOnOffFlow::Config uc = cfg.udp;
+    uc.seed = cfg.seed * 7919 + 17;
+    udp = std::make_unique<UdpOnOffFlow>(events, link, uc);
+    udp->start(net::Timestamp{0});
+  }
+
+  CongestionResult result;
+  result.outcomes.resize(foreground.size());
+
+  // Inject every foreground packet at its origin time.
+  for (std::size_t i = 0; i < foreground.size(); ++i) {
+    const net::Packet& p = foreground[i];
+    events.schedule(p.origin_time, [&, i] {
+      const net::Timestamp arrival = events.now();
+      const std::size_t bytes = foreground[i].header.total_length;
+      const bool accepted =
+          link.offer(bytes, [&, i, arrival](net::Timestamp delivered) {
+            const net::Duration d = delivered - arrival;
+            result.outcomes[i].delay = d;
+            if (d > result.max_delay) result.max_delay = d;
+          });
+      if (!accepted) {
+        result.outcomes[i].dropped = true;
+        ++result.foreground_drops;
+      }
+    });
+  }
+
+  // Run long enough for the last foreground packet to drain.
+  const net::Timestamp horizon =
+      foreground.back().origin_time + net::seconds(2);
+  events.run_until(horizon);
+
+  if (udp) {
+    result.background_sent += udp->sent();
+    result.background_drops += udp->dropped();
+  }
+  for (const auto& f : tcp_flows) {
+    result.background_sent += f->packets_acked() + f->packets_lost();
+    result.background_drops += f->packets_lost();
+  }
+  return result;
+}
+
+std::vector<double> delay_series_ms(const CongestionResult& r) {
+  std::vector<double> out;
+  out.reserve(r.outcomes.size());
+  for (const DelayOutcome& o : r.outcomes) {
+    out.push_back(o.dropped ? -1.0 : o.delay.milliseconds());
+  }
+  return out;
+}
+
+}  // namespace vpm::sim

@@ -1,0 +1,75 @@
+// Congestion scenario runner: generates the intra-domain delay series the
+// Figure-2 experiments feed into domain X.
+//
+// Paper §7.2: "we use the NS simulator to create realistic congestion
+// scenarios, and generate the sequence of delay values that our packet
+// sequence would encounter in each case.  We consider different congestion
+// scenarios, where long-lived TCP or UDP flows compete for/saturate the
+// bandwidth of a bottleneck link" — results shown are for the scenario
+// with the highest delay variance at the shortest time scale (bursty UDP).
+//
+// The foreground sequence shares a DropTail bottleneck with background
+// flows; each foreground packet's delay = queueing + transmission +
+// propagation.  Loss is *not* modelled here: the paper injects loss
+// separately with Gilbert-Elliott, and so do we (the bottleneck buffer is
+// sized so foreground drops are impossible; we assert on that).
+#ifndef VPM_SIM_CONGESTION_HPP
+#define VPM_SIM_CONGESTION_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/time.hpp"
+#include "sim/tcp_flow.hpp"
+#include "sim/udp_flow.hpp"
+
+namespace vpm::sim {
+
+enum class CongestionKind : std::uint8_t {
+  kBurstyUdp,    ///< the paper's headline scenario (Fig. 2 caption)
+  kLongLivedTcp, ///< TCP-only saturation
+  kMixed,        ///< TCP + bursty UDP
+  kNone,         ///< baseline: propagation + transmission only
+};
+
+struct CongestionConfig {
+  CongestionKind kind = CongestionKind::kBurstyUdp;
+  double bottleneck_bps = 500e6;
+  /// Buffer sized for ~64 ms of drain at the default rate: delay spikes in
+  /// the tens of milliseconds, like the paper's congested domain, while
+  /// absorbing the foreground entirely (loss is injected separately with
+  /// Gilbert-Elliott, exactly as in §7.2).
+  std::size_t buffer_bytes = 4'000'000;
+  net::Duration propagation = net::microseconds(200);
+  int tcp_flow_count = 4;
+  UdpOnOffFlow::Config udp = {};
+  std::uint64_t seed = 1;
+};
+
+/// Per-foreground-packet outcome.
+struct DelayOutcome {
+  bool dropped = false;        ///< queue overflow (should not happen; see above)
+  net::Duration delay;         ///< domain traversal delay
+};
+
+struct CongestionResult {
+  std::vector<DelayOutcome> outcomes;  ///< indexed like the foreground trace
+  std::uint64_t foreground_drops = 0;
+  std::uint64_t background_sent = 0;
+  std::uint64_t background_drops = 0;
+  net::Duration max_delay;
+};
+
+/// Run the scenario over the foreground packets (arrival times are their
+/// `origin_time`).  Throws std::invalid_argument on empty foreground.
+[[nodiscard]] CongestionResult simulate_congestion(
+    const CongestionConfig& cfg, std::span<const net::Packet> foreground);
+
+/// Convenience: just the delay series in milliseconds (drops -> -1).
+[[nodiscard]] std::vector<double> delay_series_ms(const CongestionResult& r);
+
+}  // namespace vpm::sim
+
+#endif  // VPM_SIM_CONGESTION_HPP

@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace vpm::sim {
+
+void EventQueue::schedule(net::Timestamp t, Handler fn) {
+  if (t < now_) {
+    throw std::invalid_argument(
+        "EventQueue::schedule into the past: t=" +
+        std::to_string(t.nanoseconds()) +
+        "ns, now=" + std::to_string(now_.nanoseconds()) + "ns");
+  }
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::run_until(net::Timestamp end) {
+  while (!heap_.empty() && heap_.top().at <= end) {
+    // Copy out before pop: the handler may schedule new events.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void EventQueue::run() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+  }
+}
+
+}  // namespace vpm::sim

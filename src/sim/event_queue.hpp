@@ -1,0 +1,64 @@
+// Discrete-event simulation core.
+//
+// Substitution note (DESIGN.md §2): the paper generates congestion delay
+// series with the NS simulator; we reproduce the same mechanism (a
+// bottleneck queue shared with background flows) on this small DES engine.
+#ifndef VPM_SIM_EVENT_QUEUE_HPP
+#define VPM_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/time.hpp"
+
+namespace vpm::sim {
+
+/// A time-ordered event executor.  Events scheduled for the same instant
+/// run in scheduling order (stable FIFO tie-break).
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `t`.  Throws std::invalid_argument if
+  /// `t` is before the current simulation time.
+  void schedule(net::Timestamp t, Handler fn);
+
+  /// Schedule `fn` after `delay` from now.
+  void schedule_in(net::Duration delay, Handler fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Run events until the queue is empty or simulated time passes `end`.
+  void run_until(net::Timestamp end);
+
+  /// Run until no events remain.
+  void run();
+
+  [[nodiscard]] net::Timestamp now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    net::Timestamp at;
+    std::uint64_t seq;  // FIFO tie-break
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  net::Timestamp now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace vpm::sim
+
+#endif  // VPM_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,110 @@
+// HOP-path propagation: runs a packet sequence through a chain of domains
+// and inter-domain links (the black arrow of Figure 1), producing the
+// observation sequence each HOP sees.
+//
+// Domains and links can drop (pluggable LossModel), delay (per-packet
+// delay function, e.g. a congestion-simulator series), and jitter
+// (uniform, which reorders packets observed close together — the paper's
+// §6.3 reordering model: "packets are reordered only when they are
+// transmitted close to one another").  Each HOP has a clock offset so
+// experiments can exercise the MaxDiff consistency rules under
+// de-synchronised clocks (§4, "(No) Clock Synchronization").
+#ifndef VPM_SIM_PATH_RUN_HPP
+#define VPM_SIM_PATH_RUN_HPP
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "loss/loss_model.hpp"
+#include "net/packet.hpp"
+#include "net/time.hpp"
+
+namespace vpm::sim {
+
+/// Index of a packet within the foreground trace.
+using PacketIndex = std::uint32_t;
+
+/// One packet observation at a HOP (references the trace by index).
+struct Obs {
+  PacketIndex pkt = 0;
+  net::Timestamp when;  ///< local clock (true time + HOP clock offset)
+};
+using ObsSeq = std::vector<Obs>;
+
+/// Behaviour of one domain on the path.
+struct DomainSegment {
+  /// Intra-domain delay for trace packet `i`; defaults to a constant
+  /// 500 us when empty.
+  std::function<net::Duration(PacketIndex)> delay_of;
+  /// Loss introduced inside the domain (between its ingress and egress
+  /// HOPs); nullptr = lossless.
+  loss::LossModel* loss = nullptr;
+  /// Content-targeted drops (e.g. an adversary discarding marker packets,
+  /// Section 5.3); applied in addition to `loss`.
+  std::function<bool(const net::Packet&)> targeted_drop;
+  /// Uniform extra delay in [0, jitter]: packets closer together than this
+  /// can be reordered inside the domain.
+  net::Duration jitter;
+};
+
+/// Behaviour of one inter-domain link.
+struct LinkSegment {
+  net::Duration delay = net::microseconds(50);
+  net::Duration jitter;
+  /// A faulty link drops packets (Section 3.1's "inconsistency can be due
+  /// either to a lie or to a faulty inter-domain link").
+  loss::LossModel* loss = nullptr;
+};
+
+/// A path of N domains: the first exposes only an egress HOP, the last
+/// only an ingress HOP, transit domains both (Fig. 1: S has HOP 1, L has
+/// 2-3, X has 4-5, N has 6-7, D has 8).
+struct PathEnvironment {
+  std::vector<DomainSegment> domains;
+  std::vector<LinkSegment> links;  ///< size must be domains.size() - 1
+  /// Per-HOP clock offsets (local = true + offset); empty = all zero.
+  std::vector<net::Duration> clock_offsets;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::size_t domain_count() const noexcept {
+    return domains.size();
+  }
+  /// Total HOPs on the path: 2*(N-1) for N >= 2 domains.
+  [[nodiscard]] std::size_t hop_count() const noexcept {
+    return domains.size() < 2 ? 0 : 2 * (domains.size() - 1);
+  }
+  /// Hop position of domain d's ingress HOP (d >= 1).
+  [[nodiscard]] static std::size_t ingress_hop(std::size_t d) noexcept {
+    return 2 * d - 1;
+  }
+  /// Hop position of domain d's egress HOP (d <= N-2).
+  [[nodiscard]] static std::size_t egress_hop(std::size_t d) noexcept {
+    return 2 * d;
+  }
+};
+
+struct PathRunResult {
+  /// Per HOP, packets in local observation order.
+  std::vector<ObsSeq> hop_observations;
+  /// Per trace packet: how many HOPs observed it (0 = lost on first link).
+  std::vector<std::uint8_t> hops_reached;
+  std::uint64_t delivered = 0;  ///< packets that reached the last HOP
+};
+
+/// Propagate the trace through the environment.  Throws
+/// std::invalid_argument if the environment is malformed (fewer than two
+/// domains, link/offset counts inconsistent).
+[[nodiscard]] PathRunResult run_path(std::span<const net::Packet> trace,
+                                     const PathEnvironment& env);
+
+/// Ground truth: the true delay (ms) through domain `d` (clock offsets
+/// removed) for every packet that traversed it, keyed by packet index.
+/// `d` must be a transit domain (has both HOPs).
+[[nodiscard]] std::vector<std::pair<PacketIndex, double>> true_domain_delays_ms(
+    const PathRunResult& result, const PathEnvironment& env, std::size_t d);
+
+}  // namespace vpm::sim
+
+#endif  // VPM_SIM_PATH_RUN_HPP

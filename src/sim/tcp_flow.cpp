@@ -1,0 +1,69 @@
+#include "sim/tcp_flow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vpm::sim {
+
+TcpFlow::TcpFlow(EventQueue& events, BottleneckLink& link, Config cfg)
+    : events_(events),
+      link_(link),
+      cfg_(cfg),
+      cwnd_(cfg.initial_cwnd),
+      ssthresh_(cfg.initial_ssthresh) {
+  if (cfg.mss_bytes == 0) {
+    throw std::invalid_argument("mss must be positive");
+  }
+  if (cfg.base_rtt <= net::Duration{0}) {
+    throw std::invalid_argument("base_rtt must be positive");
+  }
+}
+
+void TcpFlow::start(net::Timestamp at) {
+  events_.schedule(at, [this] { try_send(); });
+}
+
+void TcpFlow::try_send() {
+  while (static_cast<double>(inflight_) < cwnd_ &&
+         inflight_ < cfg_.max_inflight) {
+    ++inflight_;
+    const bool accepted = link_.offer(
+        cfg_.mss_bytes, [this](net::Timestamp /*delivered*/) {
+          // Data reached the receiver; the ACK returns after the reverse
+          // path (uncongested): half the base RTT.
+          events_.schedule_in(cfg_.base_rtt / 2, [this] { on_ack(); });
+        });
+    if (!accepted) {
+      --inflight_;  // never entered the network
+      ++lost_;
+      // The sender notices roughly one RTT later.
+      events_.schedule_in(cfg_.base_rtt, [this] { on_loss_detected(); });
+      // Stop pushing this window; on_ack/on_loss will restart us.
+      return;
+    }
+  }
+}
+
+void TcpFlow::on_ack() {
+  if (inflight_ > 0) --inflight_;
+  ++acked_;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += 1.0;  // slow start
+  } else {
+    cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+  }
+  try_send();
+}
+
+void TcpFlow::on_loss_detected() {
+  if (events_.now() < recovery_until_) {
+    try_send();
+    return;  // already reacted to this loss burst
+  }
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = ssthresh_;
+  recovery_until_ = events_.now() + cfg_.base_rtt;
+  try_send();
+}
+
+}  // namespace vpm::sim

@@ -1,0 +1,61 @@
+// A simplified long-lived TCP Reno source for background congestion.
+//
+// The paper's NS scenarios include "long-lived TCP ... flows compet[ing]
+// for ... a bottleneck link" (§7.2).  We model the load-shaping essentials
+// only: slow start, congestion avoidance (AIMD), and multiplicative
+// decrease on loss — enough to produce the characteristic sawtooth
+// occupancy at the shared queue.  Loss detection is "genie-aided": the
+// source learns of a queue drop one RTT later, standing in for triple
+// duplicate ACKs; this changes no queue dynamics that matter here.
+#ifndef VPM_SIM_TCP_FLOW_HPP
+#define VPM_SIM_TCP_FLOW_HPP
+
+#include <cstdint>
+
+#include "sim/bottleneck_link.hpp"
+#include "sim/event_queue.hpp"
+
+namespace vpm::sim {
+
+class TcpFlow {
+ public:
+  struct Config {
+    std::size_t mss_bytes = 1460;
+    net::Duration base_rtt = net::milliseconds(20);  ///< excluding queueing
+    double initial_cwnd = 2.0;
+    double initial_ssthresh = 64.0;
+    std::uint64_t max_inflight = 1024;  ///< receiver window (packets)
+  };
+
+  /// Throws std::invalid_argument on zero mss or non-positive RTT.
+  TcpFlow(EventQueue& events, BottleneckLink& link, Config cfg);
+
+  void start(net::Timestamp at);
+
+  [[nodiscard]] double cwnd() const noexcept { return cwnd_; }
+  [[nodiscard]] std::uint64_t packets_acked() const noexcept {
+    return acked_;
+  }
+  [[nodiscard]] std::uint64_t packets_lost() const noexcept { return lost_; }
+
+ private:
+  void try_send();
+  void on_ack();
+  void on_loss_detected();
+
+  EventQueue& events_;
+  BottleneckLink& link_;
+  Config cfg_;
+  double cwnd_;
+  double ssthresh_;
+  std::uint64_t inflight_ = 0;
+  std::uint64_t acked_ = 0;
+  std::uint64_t lost_ = 0;
+  /// Ignore further decreases until this time: one reaction per RTT, as in
+  /// Reno's fast recovery.
+  net::Timestamp recovery_until_;
+};
+
+}  // namespace vpm::sim
+
+#endif  // VPM_SIM_TCP_FLOW_HPP

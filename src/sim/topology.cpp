@@ -1,0 +1,45 @@
+#include "sim/topology.hpp"
+
+#include <stdexcept>
+
+namespace vpm::sim {
+
+PathTopology::PathTopology(std::vector<std::string> domain_names)
+    : names_(std::move(domain_names)) {
+  if (names_.size() < 2) {
+    throw std::invalid_argument("a path needs at least two domains");
+  }
+}
+
+PathTopology PathTopology::figure_one() {
+  return PathTopology{{"S", "L", "X", "N", "D"}};
+}
+
+net::HopId PathTopology::hop_id(std::size_t hop_pos) const {
+  if (hop_pos >= hop_count()) {
+    throw std::out_of_range("hop position " + std::to_string(hop_pos) +
+                            " out of range");
+  }
+  return hop_number(hop_pos);
+}
+
+DomainIndex PathTopology::domain_of_hop(std::size_t hop_pos) const {
+  if (hop_pos >= hop_count()) {
+    throw std::out_of_range("hop position " + std::to_string(hop_pos) +
+                            " out of range");
+  }
+  // Hop 0 is domain 0's egress; then pairs (ingress, egress) per transit
+  // domain; the final hop is the last domain's ingress.
+  return (hop_pos + 1) / 2;
+}
+
+PathEnvironment PathTopology::make_environment(std::uint64_t seed) const {
+  PathEnvironment env;
+  env.domains.resize(domain_count());
+  env.links.resize(domain_count() - 1);
+  env.clock_offsets.assign(hop_count(), net::Duration{0});
+  env.seed = seed;
+  return env;
+}
+
+}  // namespace vpm::sim

@@ -1,0 +1,67 @@
+// The Figure-1 topology: named domains S, L, X, N, D with HOPs 1..8, and a
+// builder for the corresponding PathEnvironment.
+//
+// This gives tests/examples the paper's running example: "domain S sends
+// to domain D a packet set via HOPs 1 to 8", where L, X, N are transit
+// domains and X is the one under scrutiny.
+#ifndef VPM_SIM_TOPOLOGY_HPP
+#define VPM_SIM_TOPOLOGY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/path_id.hpp"
+#include "sim/path_run.hpp"
+
+namespace vpm::sim {
+
+using DomainIndex = std::size_t;
+
+struct DomainInfo {
+  std::string name;
+  DomainIndex index = 0;
+};
+
+/// Static description of a linear domain-level path.
+class PathTopology {
+ public:
+  /// Throws std::invalid_argument with fewer than two domain names.
+  explicit PathTopology(std::vector<std::string> domain_names);
+
+  /// The paper's example: S -> L -> X -> N -> D (HOPs 1..8).
+  [[nodiscard]] static PathTopology figure_one();
+
+  [[nodiscard]] std::size_t domain_count() const noexcept {
+    return names_.size();
+  }
+  [[nodiscard]] std::size_t hop_count() const noexcept {
+    return 2 * (names_.size() - 1);
+  }
+  [[nodiscard]] const std::string& domain_name(DomainIndex d) const {
+    return names_.at(d);
+  }
+  /// Paper-style 1-based HOP number for a hop position (0-based).
+  [[nodiscard]] static std::uint32_t hop_number(std::size_t hop_pos) noexcept {
+    return static_cast<std::uint32_t>(hop_pos + 1);
+  }
+  /// Globally unique HopId for a hop position.
+  [[nodiscard]] net::HopId hop_id(std::size_t hop_pos) const;
+  /// Which domain owns the HOP at `hop_pos`.
+  [[nodiscard]] DomainIndex domain_of_hop(std::size_t hop_pos) const;
+  /// True if `hop_pos` is an ingress HOP of its domain (on this path).
+  [[nodiscard]] static bool is_ingress(std::size_t hop_pos) noexcept {
+    return hop_pos % 2 == 1;
+  }
+
+  /// A PathEnvironment skeleton with this many domains/links, default
+  /// (lossless, constant-delay) behaviour, and zero clock offsets.
+  [[nodiscard]] PathEnvironment make_environment(std::uint64_t seed) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace vpm::sim
+
+#endif  // VPM_SIM_TOPOLOGY_HPP

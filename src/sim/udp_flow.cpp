@@ -1,0 +1,54 @@
+#include "sim/udp_flow.hpp"
+
+#include <stdexcept>
+
+namespace vpm::sim {
+
+UdpOnOffFlow::UdpOnOffFlow(EventQueue& events, BottleneckLink& link,
+                           Config cfg)
+    : events_(events), link_(link), cfg_(cfg), rng_(cfg.seed) {
+  if (cfg.peak_bps <= 0.0) {
+    throw std::invalid_argument("peak_bps must be positive");
+  }
+  if (cfg.packet_bytes == 0) {
+    throw std::invalid_argument("packet_bytes must be positive");
+  }
+  if (cfg.mean_on <= net::Duration{0} || cfg.mean_off <= net::Duration{0}) {
+    throw std::invalid_argument("on/off periods must be positive");
+  }
+}
+
+void UdpOnOffFlow::start(net::Timestamp at) {
+  std::exponential_distribution<double> off_len(1.0 /
+                                                cfg_.mean_off.seconds());
+  events_.schedule(at + net::seconds_f(off_len(rng_)),
+                   [this] { enter_on(); });
+}
+
+void UdpOnOffFlow::enter_on() {
+  std::exponential_distribution<double> on_len(1.0 / cfg_.mean_on.seconds());
+  on_until_ = events_.now() + net::seconds_f(on_len(rng_));
+  send_next();
+}
+
+void UdpOnOffFlow::enter_off() {
+  std::exponential_distribution<double> off_len(1.0 /
+                                                cfg_.mean_off.seconds());
+  events_.schedule_in(net::seconds_f(off_len(rng_)), [this] { enter_on(); });
+}
+
+void UdpOnOffFlow::send_next() {
+  if (events_.now() >= on_until_) {
+    enter_off();
+    return;
+  }
+  ++sent_;
+  if (!link_.offer(cfg_.packet_bytes, nullptr)) {
+    ++dropped_;
+  }
+  const auto gap_ns = static_cast<std::int64_t>(
+      static_cast<double>(cfg_.packet_bytes) * 8.0 / cfg_.peak_bps * 1e9);
+  events_.schedule_in(net::Duration{gap_ns}, [this] { send_next(); });
+}
+
+}  // namespace vpm::sim

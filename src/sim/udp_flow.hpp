@@ -1,0 +1,50 @@
+// Bursty on/off UDP source: the background flow behind the paper's
+// highest-variance congestion scenario ("Congestion is caused by a bursty,
+// high-rate UDP flow" — Figure 2 caption).
+#ifndef VPM_SIM_UDP_FLOW_HPP
+#define VPM_SIM_UDP_FLOW_HPP
+
+#include <cstdint>
+#include <random>
+
+#include "sim/bottleneck_link.hpp"
+#include "sim/event_queue.hpp"
+
+namespace vpm::sim {
+
+class UdpOnOffFlow {
+ public:
+  struct Config {
+    double peak_bps = 300e6;  ///< send rate while ON
+    std::size_t packet_bytes = 1400;
+    net::Duration mean_on = net::milliseconds(100);
+    net::Duration mean_off = net::milliseconds(400);
+    std::uint64_t seed = 1;
+  };
+
+  /// Throws std::invalid_argument on non-positive rate/size/periods.
+  UdpOnOffFlow(EventQueue& events, BottleneckLink& link, Config cfg);
+
+  /// Begin the on/off cycle at `at` (starts in OFF state).
+  void start(net::Timestamp at);
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  void enter_on();
+  void enter_off();
+  void send_next();
+
+  EventQueue& events_;
+  BottleneckLink& link_;
+  Config cfg_;
+  std::mt19937_64 rng_;
+  net::Timestamp on_until_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace vpm::sim
+
+#endif  // VPM_SIM_UDP_FLOW_HPP

@@ -1,0 +1,76 @@
+#include "sketch/content_sketch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "net/bob_hash.hpp"
+
+namespace vpm::sketch {
+namespace {
+
+constexpr std::uint32_t kBucketSeed = 0x534b4231u;  // "SKB1"
+constexpr std::uint32_t kSignSeed = 0x534b5347u;    // "SKSG"
+
+}  // namespace
+
+ContentSketch::ContentSketch(std::size_t buckets) : counters_(buckets, 0) {
+  if (buckets == 0) {
+    throw std::invalid_argument("sketch needs at least one bucket");
+  }
+}
+
+void ContentSketch::add(net::PacketDigest id) noexcept {
+  const std::uint32_t h = net::bob_hash_pair(id, 0, kBucketSeed);
+  const std::uint32_t s = net::bob_hash_pair(id, 0, kSignSeed);
+  const std::size_t bucket = h % counters_.size();
+  counters_[bucket] += (s & 1u) != 0 ? 1 : -1;
+  ++items_;
+}
+
+ContentSketch ContentSketch::difference(const ContentSketch& other) const {
+  if (counters_.size() != other.counters_.size()) {
+    throw std::invalid_argument("sketch width mismatch");
+  }
+  ContentSketch out(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    out.counters_[i] = counters_[i] - other.counters_[i];
+  }
+  out.items_ = items_ + other.items_;
+  return out;
+}
+
+double ContentSketch::squared_norm() const noexcept {
+  double sum = 0.0;
+  for (const std::int32_t c : counters_) {
+    sum += static_cast<double>(c) * static_cast<double>(c);
+  }
+  return sum;
+}
+
+ModificationCheck check_modification(const ContentSketch& up,
+                                     std::uint64_t up_count,
+                                     const ContentSketch& down,
+                                     std::uint64_t down_count,
+                                     double tolerance) {
+  ModificationCheck out;
+  out.up_count = up_count;
+  out.down_count = down_count;
+  out.symmetric_difference = up.difference(down).squared_norm();
+  const double count_delta = std::abs(static_cast<double>(up_count) -
+                                      static_cast<double>(down_count));
+  out.modified_estimate =
+      std::max(0.0, (out.symmetric_difference - count_delta) / 2.0);
+  // The sketch estimator's standard deviation grows with the genuine
+  // (loss-explainable) difference: sd(||diff||^2) ~ count_delta *
+  // sqrt(2/buckets).  Only flag modification when the residual clears
+  // three of those sigmas on top of the absolute tolerance — plain loss
+  // must not raise alarms (the paper's aggregation component already
+  // measures loss; the sketch is strictly for content changes).
+  const double noise_sigma =
+      count_delta * std::sqrt(2.0 / static_cast<double>(up.buckets()));
+  out.modification_suspected =
+      out.modified_estimate > tolerance + 3.0 * noise_sigma;
+  return out;
+}
+
+}  // namespace vpm::sketch

@@ -1,0 +1,83 @@
+// Per-aggregate content sketches: the Section 3.5 extension.
+//
+// "'Bad' ISP behavior may consist not only of introducing loss and
+// unpredictable delay, but also of modifying traffic; the only way to
+// detect such behavior is to use a content-processing technique like the
+// one proposed in [12], which could be easily incorporated in our
+// aggregation component" (§3.5).  This module is that incorporation: a
+// second-moment (AMS-style, after Goldberg et al.'s secure sketch) sketch
+// of every packet digest in an aggregate.
+//
+// Each packet id lands in one of `buckets` counters with a +/-1 sign, both
+// chosen by seeded hashes.  For two HOPs' sketches of the same aggregate,
+// the squared L2 norm of the difference estimates |A \ B| + |B \ A|: a
+// dropped packet contributes ~1, an injected one ~1, and a *modified*
+// packet ~2 (its old id leaves, its new id arrives).  Comparing that
+// estimate against the count-explainable loss separates modification from
+// plain loss.
+#ifndef VPM_SKETCH_CONTENT_SKETCH_HPP
+#define VPM_SKETCH_CONTENT_SKETCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "net/digest.hpp"
+
+namespace vpm::sketch {
+
+class ContentSketch {
+ public:
+  /// Throws std::invalid_argument if buckets == 0.
+  explicit ContentSketch(std::size_t buckets);
+
+  void add(net::PacketDigest id) noexcept;
+
+  [[nodiscard]] std::size_t buckets() const noexcept {
+    return counters_.size();
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] std::uint64_t items() const noexcept { return items_; }
+
+  /// this - other, counterwise.  Throws std::invalid_argument on size
+  /// mismatch (sketch width is a per-link agreement, like MaxDiff).
+  [[nodiscard]] ContentSketch difference(const ContentSketch& other) const;
+
+  /// Sum of squared counters: for a difference sketch this estimates the
+  /// symmetric difference of the two packet multisets (expectation exact;
+  /// variance shrinks with bucket count).
+  [[nodiscard]] double squared_norm() const noexcept;
+
+  friend bool operator==(const ContentSketch&, const ContentSketch&) =
+      default;
+
+ private:
+  std::vector<std::int32_t> counters_;
+  std::uint64_t items_ = 0;
+};
+
+/// Verdict of comparing two HOPs' sketches of one aligned aggregate.
+struct ModificationCheck {
+  std::uint64_t up_count = 0;
+  std::uint64_t down_count = 0;
+  double symmetric_difference = 0.0;  ///< sketch estimate
+  /// Estimated packets whose content changed in flight:
+  /// (symmetric_difference - |count delta|) / 2, floored at 0.
+  double modified_estimate = 0.0;
+  /// Flagged when modified_estimate exceeds the detection threshold.
+  bool modification_suspected = false;
+};
+
+/// Compare sketches for one aggregate observed at both HOPs.  `tolerance`
+/// is the absolute packet-count estimate below which we attribute the
+/// residual to sketch noise (default suits >= 32 buckets and aggregates
+/// up to ~100k packets).
+[[nodiscard]] ModificationCheck check_modification(
+    const ContentSketch& up, std::uint64_t up_count,
+    const ContentSketch& down, std::uint64_t down_count,
+    double tolerance = 4.0);
+
+}  // namespace vpm::sketch
+
+#endif  // VPM_SKETCH_CONTENT_SKETCH_HPP

@@ -1,0 +1,58 @@
+#include "sketch/sketch_aggregator.hpp"
+
+#include <unordered_map>
+
+namespace vpm::sketch {
+
+void SketchAggregator::observe(const net::Packet& p) {
+  const net::PacketDigest id = engine_.packet_id(p);
+  if (open_.has_value() && engine_.cut_value(p) > cut_threshold_) {
+    closed_.push_back(std::move(*open_));
+    open_.reset();
+  }
+  if (!open_) {
+    open_ = SketchReceipt{.agg = core::AggId{id, id},
+                          .packet_count = 0,
+                          .sketch = ContentSketch{buckets_}};
+  }
+  open_->agg.last = id;
+  ++open_->packet_count;
+  open_->sketch.add(id);
+}
+
+std::vector<SketchReceipt> SketchAggregator::take_closed() {
+  std::vector<SketchReceipt> out;
+  out.swap(closed_);
+  return out;
+}
+
+std::optional<SketchReceipt> SketchAggregator::flush_open() {
+  std::optional<SketchReceipt> out;
+  out.swap(open_);
+  return out;
+}
+
+ModificationReport check_path_modification(std::span<const SketchReceipt> up,
+                                           std::span<const SketchReceipt> down,
+                                           double tolerance) {
+  ModificationReport report;
+  std::unordered_map<net::PacketDigest, const SketchReceipt*> down_by_first;
+  down_by_first.reserve(down.size() * 2);
+  for (const SketchReceipt& r : down) down_by_first.emplace(r.agg.first, &r);
+
+  for (const SketchReceipt& u : up) {
+    const auto it = down_by_first.find(u.agg.first);
+    if (it == down_by_first.end()) continue;
+    const SketchReceipt& d = *it->second;
+    if (u.sketch.buckets() != d.sketch.buckets()) continue;
+    ModificationCheck check = check_modification(
+        u.sketch, u.packet_count, d.sketch, d.packet_count, tolerance);
+    ++report.aggregates_checked;
+    if (check.modification_suspected) ++report.aggregates_suspected;
+    report.total_modified_estimate += check.modified_estimate;
+    report.details.push_back(check);
+  }
+  return report;
+}
+
+}  // namespace vpm::sketch

@@ -1,0 +1,101 @@
+#include "stats/binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace vpm::stats {
+namespace {
+
+// Inverse of the standard normal CDF (Acklam's rational approximation,
+// |relative error| < 1.15e-9 — far below anything these experiments need).
+double inverse_normal_cdf(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("inverse_normal_cdf: p outside (0,1)");
+  }
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double z_value(double confidence) {
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("confidence " + std::to_string(confidence) +
+                                " outside (0,1)");
+  }
+  return inverse_normal_cdf(0.5 + confidence / 2.0);
+}
+
+IndexInterval quantile_index_interval(std::size_t n, double q,
+                                      double confidence) {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile " + std::to_string(q) +
+                                " outside [0,1]");
+  }
+  if (n == 0) return IndexInterval{0, 0};
+  const double z = z_value(confidence);
+  const double nd = static_cast<double>(n);
+  const double center = q * nd;
+  const double half = z * std::sqrt(nd * q * (1.0 - q));
+  const double lo = std::floor(center - half);
+  const double hi = std::ceil(center + half);
+  const auto clamp_idx = [n](double v) {
+    if (v < 0.0) return std::size_t{0};
+    if (v >= static_cast<double>(n)) return n - 1;
+    return static_cast<std::size_t>(v);
+  };
+  return IndexInterval{clamp_idx(lo), clamp_idx(hi)};
+}
+
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                   double confidence) {
+  if (trials == 0) return ProportionInterval{0.0, 0.0, 1.0};
+  if (successes > trials) {
+    throw std::invalid_argument("successes > trials");
+  }
+  const double z = z_value(confidence);
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return ProportionInterval{phat, std::max(0.0, center - half),
+                            std::min(1.0, center + half)};
+}
+
+}  // namespace vpm::stats

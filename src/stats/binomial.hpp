@@ -1,0 +1,42 @@
+// Binomial / normal-approximation confidence machinery.
+//
+// The delay-quantile estimation technique VPM borrows from Sommers et
+// al. [20] reports a quantile estimate with a confidence interval derived
+// from order statistics of the sampled delays; the interval endpoints are
+// binomial quantiles.  This header provides the z-values and interval
+// index computations, plus a Wilson score interval for loss proportions.
+#ifndef VPM_STATS_BINOMIAL_HPP
+#define VPM_STATS_BINOMIAL_HPP
+
+#include <cstddef>
+
+namespace vpm::stats {
+
+/// Two-sided standard-normal critical value for the given confidence level
+/// (e.g. 0.95 -> 1.96).  Throws std::invalid_argument outside (0,1).
+[[nodiscard]] double z_value(double confidence);
+
+/// Order-statistic index bounds for a q-quantile confidence interval over n
+/// samples: [lo, hi] are 0-based indices into the *sorted* sample array
+/// such that P(x_(lo) <= Q_q <= x_(hi)) >= confidence under the binomial
+/// model.  Indices are clamped to [0, n-1].
+struct IndexInterval {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+[[nodiscard]] IndexInterval quantile_index_interval(std::size_t n, double q,
+                                                    double confidence);
+
+/// Wilson score interval for a proportion (successes / trials).
+struct ProportionInterval {
+  double estimate = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+[[nodiscard]] ProportionInterval wilson_interval(std::size_t successes,
+                                                 std::size_t trials,
+                                                 double confidence);
+
+}  // namespace vpm::stats
+
+#endif  // VPM_STATS_BINOMIAL_HPP

@@ -1,0 +1,54 @@
+#include "stats/delay_accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/quantile.hpp"
+
+namespace vpm::stats {
+
+DelayAccuracyReport score_delay_estimate(std::span<const double> true_delays,
+                                         std::span<const double> sampled_delays,
+                                         double confidence,
+                                         std::span<const double> quantiles) {
+  if (true_delays.empty()) {
+    throw std::invalid_argument("score_delay_estimate: no ground truth");
+  }
+  if (sampled_delays.empty()) {
+    throw std::invalid_argument("score_delay_estimate: no samples");
+  }
+
+  std::vector<double> truth(true_delays.begin(), true_delays.end());
+  std::sort(truth.begin(), truth.end());
+
+  QuantileEstimator estimator;
+  estimator.add_all(sampled_delays);
+
+  DelayAccuracyReport report;
+  report.samples_used = sampled_delays.size();
+  report.per_quantile.reserve(quantiles.size());
+
+  double err_sum = 0.0;
+  for (const double q : quantiles) {
+    const double truth_q = sorted_quantile(truth, q);
+    const QuantileEstimate est = estimator.estimate(q, confidence);
+    const double abs_err = std::abs(est.value - truth_q);
+    report.per_quantile.push_back(QuantileError{
+        .quantile = q,
+        .true_value = truth_q,
+        .estimated = est.value,
+        .abs_error = abs_err,
+        .ci_half_width = est.accuracy(),
+    });
+    report.worst_abs_error = std::max(report.worst_abs_error, abs_err);
+    report.worst_ci_half_width =
+        std::max(report.worst_ci_half_width, est.accuracy());
+    err_sum += abs_err;
+  }
+  report.mean_abs_error =
+      err_sum / static_cast<double>(quantiles.size());
+  return report;
+}
+
+}  // namespace vpm::stats

@@ -1,0 +1,54 @@
+// The Figure-2 scoring metric: how accurately a verifier's sample-based
+// delay-quantile estimates match the ground-truth delay distribution.
+//
+// The paper reports a single "Delay Accuracy [msec]" number per
+// configuration.  We score it as the worst-case disagreement between the
+// estimated and true quantile values over a fixed quantile grid — the
+// natural reading of "delay performance is estimated with an accuracy of
+// 2 msec" — and also expose per-quantile errors and confidence half-widths
+// for EXPERIMENTS.md.
+#ifndef VPM_STATS_DELAY_ACCURACY_HPP
+#define VPM_STATS_DELAY_ACCURACY_HPP
+
+#include <array>
+#include <span>
+#include <vector>
+
+namespace vpm::stats {
+
+/// Quantile grid used for delay scoring throughout the reproduction.
+inline constexpr std::array<double, 5> kDelayQuantiles = {0.50, 0.75, 0.90,
+                                                          0.95, 0.99};
+
+struct QuantileError {
+  double quantile = 0.0;
+  double true_value = 0.0;
+  double estimated = 0.0;
+  double abs_error = 0.0;
+  double ci_half_width = 0.0;
+};
+
+struct DelayAccuracyReport {
+  /// max over the quantile grid of |estimate - truth| (the Fig. 2 y-axis).
+  double worst_abs_error = 0.0;
+  /// mean over the quantile grid of |estimate - truth|.
+  double mean_abs_error = 0.0;
+  /// max CI half-width (the [20]-style reported confidence bound).
+  double worst_ci_half_width = 0.0;
+  std::size_t samples_used = 0;
+  std::vector<QuantileError> per_quantile;
+};
+
+/// Score sampled delays against ground-truth delays (both in the same
+/// unit, conventionally milliseconds).  `true_delays` is the delay of
+/// every delivered packet; `sampled_delays` the subset the verifier saw.
+/// `quantiles` defaults to the kDelayQuantiles grid.  Throws
+/// std::invalid_argument if either input is empty.
+[[nodiscard]] DelayAccuracyReport score_delay_estimate(
+    std::span<const double> true_delays, std::span<const double> sampled_delays,
+    double confidence = 0.95,
+    std::span<const double> quantiles = kDelayQuantiles);
+
+}  // namespace vpm::stats
+
+#endif  // VPM_STATS_DELAY_ACCURACY_HPP

@@ -1,0 +1,61 @@
+// Streaming summary statistics (Welford) and small helpers shared by the
+// experiment harnesses.
+#ifndef VPM_STATS_SUMMARY_HPP
+#define VPM_STATS_SUMMARY_HPP
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+
+namespace vpm::stats {
+
+/// Single-pass count/mean/variance/min/max accumulator.
+class OnlineSummary {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  [[nodiscard]] double stddev() const noexcept {
+    return std::sqrt(variance());
+  }
+  [[nodiscard]] double min() const noexcept {
+    return count_ == 0 ? 0.0 : min_;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return count_ == 0 ? 0.0 : max_;
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(count_);
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Mean of a span (0.0 for empty input).
+[[nodiscard]] inline double mean_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace vpm::stats
+
+#endif  // VPM_STATS_SUMMARY_HPP

@@ -1,0 +1,92 @@
+#include "trace/flow_generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace vpm::trace {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n == 0");
+  if (s < 0.0) throw std::invalid_argument("ZipfSampler: s < 0");
+  cumulative_.reserve(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cumulative_.push_back(acc);
+  }
+}
+
+std::size_t ZipfSampler::index_for(double point) const {
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), point);
+  if (it == cumulative_.end()) return cumulative_.size() - 1;
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+double ZipfSampler::probability(std::size_t i) const {
+  if (i >= cumulative_.size()) {
+    throw std::out_of_range("ZipfSampler::probability index");
+  }
+  const double lo = i == 0 ? 0.0 : cumulative_[i - 1];
+  return (cumulative_[i] - lo) / cumulative_.back();
+}
+
+namespace {
+
+net::Ipv4Address random_host(const net::Prefix& prefix, std::mt19937_64& rng) {
+  const std::uint32_t host_bits = ~prefix.mask();
+  std::uniform_int_distribution<std::uint32_t> dist(0, host_bits);
+  return net::Ipv4Address{prefix.network().value() | dist(rng)};
+}
+
+// A web/dns-flavoured destination port mix; the exact values only matter
+// for digest entropy.
+constexpr std::array<std::uint16_t, 6> kServicePorts = {80,  443, 53,
+                                                        22,  25,  8080};
+
+}  // namespace
+
+FlowGenerator::FlowGenerator(net::PrefixPair prefixes, std::size_t flow_count,
+                             double zipf_s, std::uint64_t seed)
+    : prefixes_(prefixes),
+      popularity_(flow_count == 0 ? 1 : flow_count, zipf_s),
+      rng_(seed) {
+  if (flow_count == 0) {
+    throw std::invalid_argument("FlowGenerator: flow_count == 0");
+  }
+  flows_.reserve(flow_count);
+  std::uniform_int_distribution<std::uint16_t> ephemeral(1024, 65535);
+  std::uniform_int_distribution<std::size_t> service(0,
+                                                     kServicePorts.size() - 1);
+  std::uniform_int_distribution<std::uint16_t> start_id(0, 0xFFFF);
+  std::uniform_real_distribution<double> proto_coin(0.0, 1.0);
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    Flow f;
+    f.src = random_host(prefixes.source, rng_);
+    f.dst = random_host(prefixes.destination, rng_);
+    f.src_port = ephemeral(rng_);
+    f.dst_port = kServicePorts[service(rng_)];
+    // Roughly the TCP/UDP split observed in backbone traces.
+    f.protocol =
+        proto_coin(rng_) < 0.85 ? net::IpProto::kTcp : net::IpProto::kUdp;
+    f.next_ip_id = start_id(rng_);
+    flows_.push_back(f);
+  }
+}
+
+net::PacketHeader FlowGenerator::next_header(std::uint16_t total_length) {
+  Flow& flow = flows_[popularity_.sample(rng_)];
+  net::PacketHeader h;
+  h.src = flow.src;
+  h.dst = flow.dst;
+  h.src_port = flow.src_port;
+  h.dst_port = flow.dst_port;
+  h.protocol = flow.protocol;
+  h.ip_id = flow.next_ip_id++;
+  h.total_length = total_length;
+  return h;
+}
+
+}  // namespace vpm::trace

@@ -1,0 +1,85 @@
+// Synthetic packet-sequence generation: the CAIDA-trace stand-in.
+//
+// Substitution note (DESIGN.md §2): the paper replays 2008 Tier-1 CAIDA
+// traces; we have no access to those, so we synthesise sequences with the
+// properties the experiments exercise: a configurable mean rate (the paper
+// uses a 100 kpps sequence), bursty arrivals (two-state MMPP), a tri-modal
+// packet-size mix with backbone-like mean (~400 B, the figure the paper's
+// overhead arithmetic assumes), and high header entropy via the flow model.
+#ifndef VPM_TRACE_SYNTHETIC_TRACE_HPP
+#define VPM_TRACE_SYNTHETIC_TRACE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/prefix.hpp"
+#include "net/time.hpp"
+
+namespace vpm::trace {
+
+/// Packet-size mixture point.
+struct SizeBucket {
+  std::uint16_t bytes = 0;
+  double weight = 0.0;
+};
+
+struct TraceConfig {
+  net::PrefixPair prefixes;
+  double packets_per_second = 100'000.0;  ///< paper's sequence rate (§7.2)
+  net::Duration duration = net::seconds(10);
+  std::size_t flow_count = 1000;
+  double zipf_s = 1.1;  ///< flow popularity skew
+
+  /// Two-state MMPP burstiness: the ON state runs at `burst_multiplier` x
+  /// the mean rate for `burst_fraction` of the time; the OFF state rate is
+  /// derived so the long-run mean matches packets_per_second.  Set
+  /// burst_multiplier = 1 for a plain Poisson process.
+  double burst_multiplier = 3.0;
+  double burst_fraction = 0.2;
+  net::Duration mean_burst_duration = net::milliseconds(100);
+
+  /// Tri-modal size mix, mean ~= 440 B (close to the 400 B the paper's
+  /// §7.1 arithmetic assumes).
+  std::vector<SizeBucket> sizes = {
+      {40, 0.50}, {400, 0.30}, {1500, 0.20}};
+
+  std::uint64_t seed = 1;
+};
+
+/// Generate the full packet sequence for one path.  Packets carry ground
+/// truth `sequence` (0..n-1) and `origin_time`.  Throws
+/// std::invalid_argument on non-positive rate/duration, empty size mix, or
+/// infeasible burst parameters (burst_multiplier * burst_fraction >= 1 is
+/// required to keep the OFF-state rate positive... see .cpp).
+[[nodiscard]] std::vector<net::Packet> generate_trace(const TraceConfig& cfg);
+
+/// A multi-path workload for collector-scaling experiments: `path_count`
+/// origin-prefix pairs with Zipf path popularity, interleaved arrivals at
+/// `total_packets_per_second`.
+struct MultiPathConfig {
+  std::size_t path_count = 1000;
+  double zipf_s = 1.0;
+  double total_packets_per_second = 1'000'000.0;
+  net::Duration duration = net::seconds(1);
+  std::size_t flows_per_path = 16;
+  std::uint64_t seed = 1;
+};
+
+struct MultiPathTrace {
+  std::vector<net::PrefixPair> paths;
+  /// Packets in arrival order; `path_of[i]` gives the path index of
+  /// packets[i].
+  std::vector<net::Packet> packets;
+  std::vector<std::uint32_t> path_of;
+};
+
+[[nodiscard]] MultiPathTrace generate_multi_path(const MultiPathConfig& cfg);
+
+/// The default origin-prefix pair used across tests/examples (an arbitrary
+/// pair of /16s, standing in for two BGP origin prefixes).
+[[nodiscard]] net::PrefixPair default_prefix_pair();
+
+}  // namespace vpm::trace
+
+#endif  // VPM_TRACE_SYNTHETIC_TRACE_HPP

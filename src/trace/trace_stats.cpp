@@ -1,0 +1,55 @@
+#include "trace/trace_stats.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+namespace vpm::trace {
+
+TraceSummary summarize(std::span<const net::Packet> trace,
+                       const net::DigestEngine& digests) {
+  TraceSummary s;
+  s.packets = trace.size();
+  if (trace.empty()) return s;
+
+  double bytes = 0.0;
+  std::unordered_set<std::uint32_t> distinct;
+  distinct.reserve(trace.size() * 2);
+  for (const net::Packet& p : trace) {
+    bytes += p.header.total_length;
+    distinct.insert(digests.packet_id(p));
+  }
+  s.duration_s =
+      (trace.back().origin_time - trace.front().origin_time).seconds();
+  if (s.duration_s > 0.0) {
+    s.packets_per_second = static_cast<double>(s.packets) / s.duration_s;
+    s.bits_per_second = bytes * 8.0 / s.duration_s;
+  }
+  s.mean_size_bytes = bytes / static_cast<double>(s.packets);
+  s.digest_distinct_fraction =
+      static_cast<double>(distinct.size()) / static_cast<double>(s.packets);
+  return s;
+}
+
+double digest_chi_squared(std::span<const net::Packet> trace,
+                          const net::DigestEngine& digests,
+                          std::size_t bins) {
+  if (bins == 0 || trace.empty()) return 0.0;
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = 4294967296.0 / static_cast<double>(bins);
+  for (const net::Packet& p : trace) {
+    auto bin = static_cast<std::size_t>(
+        static_cast<double>(digests.packet_id(p)) / width);
+    if (bin >= bins) bin = bins - 1;
+    ++counts[bin];
+  }
+  const double expected =
+      static_cast<double>(trace.size()) / static_cast<double>(bins);
+  double chi2 = 0.0;
+  for (const std::size_t c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    chi2 += diff * diff / expected;
+  }
+  return chi2;
+}
+
+}  // namespace vpm::trace

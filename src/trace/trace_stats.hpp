@@ -1,0 +1,37 @@
+// Workload characterisation helpers: verify that generated traces have the
+// properties the experiments assume (rate, size mix, digest uniformity).
+#ifndef VPM_TRACE_TRACE_STATS_HPP
+#define VPM_TRACE_TRACE_STATS_HPP
+
+#include <cstddef>
+#include <span>
+
+#include "net/digest.hpp"
+#include "net/packet.hpp"
+
+namespace vpm::trace {
+
+struct TraceSummary {
+  std::size_t packets = 0;
+  double duration_s = 0.0;
+  double packets_per_second = 0.0;
+  double mean_size_bytes = 0.0;
+  double bits_per_second = 0.0;
+  /// Fraction of distinct packet-id digests (1.0 = no collisions).
+  double digest_distinct_fraction = 0.0;
+};
+
+[[nodiscard]] TraceSummary summarize(std::span<const net::Packet> trace,
+                                     const net::DigestEngine& digests);
+
+/// Chi-squared uniformity statistic of packet-id digests over `bins`
+/// equal-width bins; for a uniform hash this is ~ chi2(bins-1), so values
+/// near `bins` indicate uniformity.  Used by tests to validate the Bob
+/// hash on generated traffic (the paper's reason for choosing it [19]).
+[[nodiscard]] double digest_chi_squared(std::span<const net::Packet> trace,
+                                        const net::DigestEngine& digests,
+                                        std::size_t bins);
+
+}  // namespace vpm::trace
+
+#endif  // VPM_TRACE_TRACE_STATS_HPP

@@ -1,0 +1,168 @@
+// Tests for the Section-3 baselines: the strawman's exactness, Trajectory
+// Sampling ++'s predictability (its fatal flaw), and Difference
+// Aggregator ++'s average-only delay plus its loss/reorder fragility.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/diff_aggregator.hpp"
+#include "baseline/strawman.hpp"
+#include "baseline/trajectory_sampling.hpp"
+#include "core/config.hpp"
+#include "helpers.hpp"
+#include "loss/bernoulli.hpp"
+#include "sim/path_run.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace vpm::baseline {
+namespace {
+
+struct TwoHopRun {
+  std::vector<net::Packet> trace;
+  sim::PathRunResult run;
+};
+
+TwoHopRun two_hops(loss::LossModel* domain_loss, net::Duration jitter,
+                   net::Duration delay, std::uint64_t seed) {
+  TwoHopRun out;
+  auto cfg = test::small_trace_config(seed);
+  out.trace = trace::generate_trace(cfg);
+  sim::PathEnvironment env;
+  env.domains.resize(3);
+  env.links.resize(2);
+  env.seed = seed + 1;
+  env.domains[1].loss = domain_loss;
+  env.domains[1].jitter = jitter;
+  env.domains[1].delay_of = [delay](sim::PacketIndex) { return delay; };
+  out.run = sim::run_path(out.trace, env);
+  return out;
+}
+
+TEST(Strawman, ExactLossAndDelay) {
+  loss::BernoulliLoss loss(0.15, 3);
+  const TwoHopRun r = two_hops(&loss, net::Duration{0},
+                               net::milliseconds(4), 1);
+  const net::DigestEngine engine;
+  StrawmanMonitor in(engine);
+  StrawmanMonitor out(engine);
+  for (const sim::Obs& o : r.run.hop_observations[1]) {
+    in.observe(r.trace[o.pkt], o.when);
+  }
+  for (const sim::Obs& o : r.run.hop_observations[2]) {
+    out.observe(r.trace[o.pkt], o.when);
+  }
+  const StrawmanDomainStats stats =
+      strawman_domain_stats(in.records(), out.records());
+  EXPECT_EQ(stats.offered, r.run.hop_observations[1].size());
+  EXPECT_EQ(stats.delivered, r.run.hop_observations[2].size());
+  for (const double ms : stats.delays_ms) {
+    EXPECT_NEAR(ms, 4.0, 1e-6);
+  }
+  // Per-packet state is the strawman's downfall: 7 B per packet per HOP.
+  EXPECT_EQ(in.state_bytes(), stats.offered * 7);
+}
+
+TEST(TrajectorySampler, SamplesPredictably) {
+  // The attacker property: would_sample() is decidable per packet at
+  // observation time, before forwarding.
+  const net::DigestEngine engine;
+  const std::uint32_t threshold = net::rate_to_threshold(0.05);
+  TrajectorySampler sampler(engine, threshold);
+  auto cfg = test::small_trace_config(5);
+  cfg.duration = net::milliseconds(500);
+  const auto trace = trace::generate_trace(cfg);
+  std::size_t predicted = 0;
+  for (const auto& p : trace) {
+    if (sampler.would_sample(p)) ++predicted;
+    sampler.observe(p, p.origin_time);
+  }
+  const auto records = sampler.take_records();
+  EXPECT_EQ(records.size(), predicted);
+  EXPECT_NEAR(static_cast<double>(records.size()) /
+                  static_cast<double>(trace.size()),
+              0.05, 0.02);
+}
+
+TEST(TrajectorySampler, SameThresholdSameSamples) {
+  const net::DigestEngine engine;
+  const std::uint32_t threshold = net::rate_to_threshold(0.03);
+  TrajectorySampler a(engine, threshold);
+  TrajectorySampler b(engine, threshold);
+  auto cfg = test::small_trace_config(7);
+  cfg.duration = net::milliseconds(300);
+  const auto trace = trace::generate_trace(cfg);
+  for (const auto& p : trace) {
+    a.observe(p, p.origin_time);
+    b.observe(p, p.origin_time + net::milliseconds(1));
+  }
+  const auto ra = a.take_records();
+  const auto rb = b.take_records();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].pkt_id, rb[i].pkt_id);
+  }
+}
+
+std::vector<LdaAggregate> run_lda(const std::vector<net::Packet>& trace,
+                                  const sim::ObsSeq& obs, double cut_rate) {
+  const net::DigestEngine engine;
+  DiffAggregator agg(engine, net::rate_to_threshold(cut_rate));
+  for (const sim::Obs& o : obs) agg.observe(trace[o.pkt], o.when);
+  auto closed = agg.take_closed();
+  if (auto last = agg.flush_open(); last.has_value()) {
+    closed.push_back(*last);
+  }
+  return closed;
+}
+
+TEST(DiffAggregator, ExactAverageDelayWithoutLossOrReorder) {
+  const TwoHopRun r = two_hops(nullptr, net::Duration{0},
+                               net::milliseconds(6), 9);
+  const auto in = run_lda(r.trace, r.run.hop_observations[1], 1e-3);
+  const auto out = run_lda(r.trace, r.run.hop_observations[2], 1e-3);
+  const LdaDomainStats stats = lda_domain_stats(in, out);
+  EXPECT_EQ(stats.offered, r.trace.size());
+  EXPECT_EQ(stats.loss_rate(), 0.0);
+  EXPECT_GT(stats.usable_aggregates, 5u);
+  ASSERT_TRUE(stats.avg_delay_ms.has_value());
+  EXPECT_NEAR(*stats.avg_delay_ms, 6.0, 0.01);
+}
+
+TEST(DiffAggregator, LossPoisonsDelayInformation) {
+  // §3.3's complaint #2, operationalised: aggregates that lost packets
+  // contribute no delay information (their sums no longer cancel).
+  loss::BernoulliLoss loss(0.10, 13);
+  const TwoHopRun r = two_hops(&loss, net::Duration{0},
+                               net::milliseconds(6), 11);
+  const auto in = run_lda(r.trace, r.run.hop_observations[1], 2e-3);
+  const auto out = run_lda(r.trace, r.run.hop_observations[2], 2e-3);
+  const LdaDomainStats stats = lda_domain_stats(in, out);
+  // At 10% loss and ~500-packet aggregates nearly every aggregate loses
+  // at least one packet, so almost none remain usable.
+  EXPECT_GT(stats.unusable_aggregates, stats.usable_aggregates);
+  // Loss totals remain computable (counts still add up).
+  EXPECT_NEAR(stats.loss_rate(), 0.10, 0.03);
+}
+
+TEST(DiffAggregator, ReorderingBreaksAggregateAlignment) {
+  // §3.3's complaint #1: with reordering and no AggTrans, the two HOPs'
+  // aggregates disagree near boundaries, producing phantom loss.
+  const TwoHopRun r = two_hops(nullptr, net::microseconds(400),
+                               net::milliseconds(2), 15);
+  const auto in = run_lda(r.trace, r.run.hop_observations[1], 2e-3);
+  const auto out = run_lda(r.trace, r.run.hop_observations[2], 2e-3);
+  const LdaDomainStats stats = lda_domain_stats(in, out);
+  // Nothing was lost, yet some aggregates are unusable.
+  EXPECT_GT(stats.unusable_aggregates, 0u);
+}
+
+TEST(DiffAggregator, CutRateControlsGranularityLikeVpm) {
+  const TwoHopRun r = two_hops(nullptr, net::Duration{0},
+                               net::milliseconds(1), 17);
+  const auto coarse = run_lda(r.trace, r.run.hop_observations[1], 1e-4);
+  const auto fine = run_lda(r.trace, r.run.hop_observations[1], 1e-2);
+  EXPECT_LT(coarse.size(), fine.size());
+}
+
+}  // namespace
+}  // namespace vpm::baseline

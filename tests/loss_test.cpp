@@ -1,0 +1,128 @@
+// Unit tests for the loss models (Gilbert-Elliott per the paper's §7.2
+// methodology, plus the Bernoulli baseline).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "loss/bernoulli.hpp"
+#include "loss/gilbert_elliott.hpp"
+
+namespace vpm::loss {
+namespace {
+
+double measured_loss(LossModel& model, std::size_t n) {
+  std::size_t drops = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (model.should_drop()) ++drops;
+  }
+  return static_cast<double>(drops) / static_cast<double>(n);
+}
+
+TEST(GilbertElliott, HitsTargetLossRate) {
+  for (const double target : {0.05, 0.10, 0.25, 0.50}) {
+    auto model = GilbertElliott::with_target_loss(target, 10.0, 1);
+    EXPECT_NEAR(model.expected_loss_rate(), target, 1e-12);
+    EXPECT_NEAR(measured_loss(model, 2'000'000), target, 0.01)
+        << "target " << target;
+  }
+}
+
+TEST(GilbertElliott, ZeroTargetNeverDrops) {
+  auto model = GilbertElliott::with_target_loss(0.0, 10.0, 1);
+  EXPECT_EQ(measured_loss(model, 100'000), 0.0);
+}
+
+TEST(GilbertElliott, LossesAreBursty) {
+  // With mean burst 20, consecutive drops must be far likelier than under
+  // Bernoulli at the same rate.
+  auto model = GilbertElliott::with_target_loss(0.2, 20.0, 7);
+  std::size_t drops = 0;
+  std::size_t consecutive_pairs = 0;
+  bool prev = false;
+  constexpr std::size_t kN = 1'000'000;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const bool d = model.should_drop();
+    if (d) {
+      ++drops;
+      if (prev) ++consecutive_pairs;
+    }
+    prev = d;
+  }
+  const double p_cons_given_drop =
+      static_cast<double>(consecutive_pairs) / static_cast<double>(drops);
+  // Bernoulli would give ~= 0.2; bursts of mean 20 give ~= 0.95.
+  EXPECT_GT(p_cons_given_drop, 0.7);
+}
+
+TEST(GilbertElliott, MeanBurstLengthMatchesParameter) {
+  auto model = GilbertElliott::with_target_loss(0.25, 10.0, 3);
+  std::vector<std::size_t> bursts;
+  std::size_t current = 0;
+  for (std::size_t i = 0; i < 2'000'000; ++i) {
+    if (model.should_drop()) {
+      ++current;
+    } else if (current > 0) {
+      bursts.push_back(current);
+      current = 0;
+    }
+  }
+  double mean = 0.0;
+  for (const std::size_t b : bursts) mean += static_cast<double>(b);
+  mean /= static_cast<double>(bursts.size());
+  EXPECT_NEAR(mean, 10.0, 1.0);
+}
+
+TEST(GilbertElliott, ResetReproducesSequence) {
+  auto model = GilbertElliott::with_target_loss(0.3, 5.0, 99);
+  std::vector<bool> first;
+  for (int i = 0; i < 1000; ++i) first.push_back(model.should_drop());
+  model.reset();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(model.should_drop(), first[static_cast<std::size_t>(i)]) << i;
+  }
+}
+
+TEST(GilbertElliott, ValidatesParameters) {
+  EXPECT_THROW(GilbertElliott::with_target_loss(-0.1, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(GilbertElliott::with_target_loss(1.0, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(GilbertElliott::with_target_loss(0.1, 0.5, 1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      GilbertElliott(GilbertElliott::Params{.p_good_to_bad = 1.5}, 1),
+      std::invalid_argument);
+  EXPECT_THROW(GilbertElliott(GilbertElliott::Params{.p_good_to_bad = 0.1,
+                                                     .p_bad_to_good = 0.0},
+                              1),
+               std::invalid_argument);
+}
+
+TEST(GilbertElliott, ExpectedRateFormulaMatchesParams) {
+  const GilbertElliott model{GilbertElliott::Params{.p_good_to_bad = 0.02,
+                                                    .p_bad_to_good = 0.18,
+                                                    .loss_good = 0.0,
+                                                    .loss_bad = 0.5},
+                             1};
+  // pi_bad = 0.02/0.2 = 0.1; loss = 0.1*0.5 = 0.05.
+  EXPECT_NEAR(model.expected_loss_rate(), 0.05, 1e-12);
+}
+
+TEST(BernoulliLoss, HitsTargetRate) {
+  BernoulliLoss model(0.1, 5);
+  EXPECT_NEAR(measured_loss(model, 1'000'000), 0.1, 0.005);
+}
+
+TEST(BernoulliLoss, RejectsBadRate) {
+  EXPECT_THROW(BernoulliLoss(-0.01, 1), std::invalid_argument);
+  EXPECT_THROW(BernoulliLoss(1.01, 1), std::invalid_argument);
+}
+
+TEST(NoLoss, NeverDrops) {
+  NoLoss model;
+  EXPECT_EQ(measured_loss(model, 10'000), 0.0);
+  EXPECT_EQ(model.expected_loss_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace vpm::loss

@@ -1,0 +1,93 @@
+// Tests for the LPM trie (router-FIB substrate behind the pipeline's route
+// lookup), including a property check against a brute-force oracle.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "net/lpm.hpp"
+
+namespace vpm::net {
+namespace {
+
+TEST(LpmTable, EmptyTableMissesEverything) {
+  const LpmTable t;
+  EXPECT_FALSE(t.lookup(Ipv4Address(1, 2, 3, 4)).has_value());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(LpmTable, LongestMatchWins) {
+  LpmTable t;
+  t.insert(Prefix::parse("10.0.0.0/8"), 1);
+  t.insert(Prefix::parse("10.20.0.0/16"), 2);
+  t.insert(Prefix::parse("10.20.30.0/24"), 3);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 20, 30, 40)), std::optional<std::uint32_t>(3));
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 20, 99, 1)), std::optional<std::uint32_t>(2));
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 99, 1, 1)), std::optional<std::uint32_t>(1));
+  EXPECT_FALSE(t.lookup(Ipv4Address(11, 0, 0, 1)).has_value());
+}
+
+TEST(LpmTable, DefaultRouteCatchesAll) {
+  LpmTable t;
+  t.insert(Prefix::parse("0.0.0.0/0"), 99);
+  t.insert(Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_EQ(t.lookup(Ipv4Address(200, 1, 1, 1)), std::optional<std::uint32_t>(99));
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 1, 1, 1)), std::optional<std::uint32_t>(1));
+}
+
+TEST(LpmTable, HostRoutes) {
+  LpmTable t;
+  t.insert(Prefix::parse("10.0.0.1/32"), 7);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 0, 0, 1)), std::optional<std::uint32_t>(7));
+  EXPECT_FALSE(t.lookup(Ipv4Address(10, 0, 0, 2)).has_value());
+}
+
+TEST(LpmTable, OverwriteKeepsSizeStable) {
+  LpmTable t;
+  t.insert(Prefix::parse("10.0.0.0/8"), 1);
+  t.insert(Prefix::parse("10.0.0.0/8"), 2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 1, 1, 1)), std::optional<std::uint32_t>(2));
+}
+
+TEST(LpmTable, ExactFetchIgnoresCovering) {
+  LpmTable t;
+  t.insert(Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_EQ(t.exact(Prefix::parse("10.0.0.0/8")), std::optional<std::uint32_t>(1));
+  EXPECT_FALSE(t.exact(Prefix::parse("10.20.0.0/16")).has_value());
+}
+
+TEST(LpmTable, AgreesWithBruteForceOracle) {
+  std::mt19937_64 rng(13);
+  std::vector<std::pair<Prefix, std::uint32_t>> table;
+  LpmTable t;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    const auto len = static_cast<std::uint8_t>(8 + (rng() % 17));  // 8..24
+    const std::uint32_t mask =
+        len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+    const Prefix p{Ipv4Address{static_cast<std::uint32_t>(rng()) & mask}, len};
+    table.emplace_back(p, i);
+    t.insert(p, i);
+  }
+  auto oracle = [&](Ipv4Address a) -> std::optional<std::uint32_t> {
+    std::optional<std::uint32_t> best;
+    int best_len = -1;
+    for (const auto& [p, v] : table) {
+      // >= so the LAST inserted among duplicates wins, matching insert's
+      // overwrite semantics.
+      if (p.contains(a) && static_cast<int>(p.length()) >= best_len) {
+        best = v;
+        best_len = p.length();
+      }
+    }
+    return best;
+  };
+  for (int i = 0; i < 20'000; ++i) {
+    const Ipv4Address addr{static_cast<std::uint32_t>(rng())};
+    EXPECT_EQ(t.lookup(addr), oracle(addr)) << addr.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace vpm::net

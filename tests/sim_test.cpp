@@ -1,0 +1,398 @@
+// Tests for the discrete-event simulator substrate: event queue, bottleneck
+// queue, background flows, congestion scenarios, and HOP-path propagation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "loss/bernoulli.hpp"
+#include "sim/bottleneck_link.hpp"
+#include "sim/congestion.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/path_run.hpp"
+#include "sim/tcp_flow.hpp"
+#include "sim/topology.hpp"
+#include "sim/udp_flow.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace vpm::sim {
+namespace {
+
+using net::Duration;
+using net::Timestamp;
+using net::milliseconds;
+using net::microseconds;
+using net::seconds;
+
+// -------------------------------------------------------------- EventQueue
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Timestamp{30}, [&] { order.push_back(3); });
+  q.schedule(Timestamp{10}, [&] { order.push_back(1); });
+  q.schedule(Timestamp{20}, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreakAtSameInstant) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Timestamp{5}, [&] { order.push_back(1); });
+  q.schedule(Timestamp{5}, [&] { order.push_back(2); });
+  q.schedule(Timestamp{5}, [&] { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, HandlersMayScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(Timestamp{1}, [&] {
+    ++fired;
+    q.schedule_in(Duration{1}, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(Timestamp{10}, [&] { ++fired; });
+  q.schedule(Timestamp{20}, [&] { ++fired; });
+  q.run_until(Timestamp{15});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), Timestamp{15});
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule(Timestamp{10}, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule(Timestamp{5}, [] {}), std::invalid_argument);
+}
+
+// --------------------------------------------------------- BottleneckLink
+
+TEST(BottleneckLink, SinglePacketSeesTransmissionPlusPropagation) {
+  EventQueue q;
+  // 1 Mbps, 1 ms propagation: a 1250-byte packet takes 10 ms to transmit.
+  BottleneckLink link(q, 1e6, 100'000, milliseconds(1));
+  Timestamp delivered;
+  ASSERT_TRUE(link.offer(1250, [&](Timestamp t) { delivered = t; }));
+  q.run();
+  EXPECT_EQ(delivered, Timestamp{0} + milliseconds(11));
+}
+
+TEST(BottleneckLink, BackToBackPacketsQueue) {
+  EventQueue q;
+  BottleneckLink link(q, 1e6, 100'000, Duration{0});
+  std::vector<Timestamp> deliveries;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(link.offer(1250, [&](Timestamp t) { deliveries.push_back(t); }));
+  }
+  q.run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0], Timestamp{0} + milliseconds(10));
+  EXPECT_EQ(deliveries[1], Timestamp{0} + milliseconds(20));
+  EXPECT_EQ(deliveries[2], Timestamp{0} + milliseconds(30));
+}
+
+TEST(BottleneckLink, DropsWhenBufferFull) {
+  EventQueue q;
+  BottleneckLink link(q, 1e6, 2500, Duration{0});  // room for 2 packets
+  EXPECT_TRUE(link.offer(1250, nullptr));
+  EXPECT_TRUE(link.offer(1250, nullptr));
+  EXPECT_FALSE(link.offer(1250, nullptr));
+  EXPECT_EQ(link.drops(), 1u);
+  q.run();
+  // After drain there is room again.
+  EXPECT_TRUE(link.offer(1250, nullptr));
+}
+
+TEST(BottleneckLink, BacklogDelayTracksQueue) {
+  EventQueue q;
+  BottleneckLink link(q, 1e6, 100'000, Duration{0});
+  EXPECT_EQ(link.current_backlog_delay(), Duration{0});
+  ASSERT_TRUE(link.offer(1250, nullptr));
+  EXPECT_EQ(link.current_backlog_delay(), milliseconds(10));
+}
+
+TEST(BottleneckLink, Validation) {
+  EventQueue q;
+  EXPECT_THROW(BottleneckLink(q, 0.0, 100, Duration{0}),
+               std::invalid_argument);
+  EXPECT_THROW(BottleneckLink(q, 1e6, 0, Duration{0}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ Flows
+
+TEST(UdpOnOffFlow, SendsAtDutyCycledRate) {
+  EventQueue q;
+  BottleneckLink link(q, 1e9, 10'000'000, Duration{0});
+  UdpOnOffFlow::Config cfg;
+  cfg.peak_bps = 100e6;
+  cfg.packet_bytes = 1250;
+  cfg.mean_on = milliseconds(100);
+  cfg.mean_off = milliseconds(100);
+  cfg.seed = 5;
+  UdpOnOffFlow flow(q, link, cfg);
+  flow.start(Timestamp{0});
+  q.run_until(Timestamp{0} + seconds(10));
+  // 50% duty cycle at 10 kpps peak => ~5 kpps * 10 s = ~50k packets.
+  EXPECT_NEAR(static_cast<double>(flow.sent()), 50'000.0, 15'000.0);
+}
+
+TEST(UdpOnOffFlow, Validation) {
+  EventQueue q;
+  BottleneckLink link(q, 1e9, 1'000'000, Duration{0});
+  UdpOnOffFlow::Config cfg;
+  cfg.peak_bps = 0;
+  EXPECT_THROW(UdpOnOffFlow(q, link, cfg), std::invalid_argument);
+}
+
+TEST(TcpFlow, GrowsWindowAndSaturates) {
+  EventQueue q;
+  BottleneckLink link(q, 10e6, 60'000, Duration{0});
+  TcpFlow::Config cfg;
+  cfg.base_rtt = milliseconds(20);
+  TcpFlow flow(q, link, cfg);
+  flow.start(Timestamp{0});
+  q.run_until(Timestamp{0} + seconds(20));
+  // 10 Mbps / 1460 B ~= 856 pps; over 20 s the flow should move a
+  // substantial fraction of link capacity.
+  EXPECT_GT(flow.packets_acked(), 8'000u);
+  EXPECT_GT(flow.packets_lost(), 0u);  // it must have probed past capacity
+  EXPECT_GT(flow.cwnd(), 1.0);
+}
+
+TEST(TcpFlow, LossHalvesWindow) {
+  EventQueue q;
+  // Tiny buffer forces an early drop.
+  BottleneckLink link(q, 1e6, 4'500, Duration{0});
+  TcpFlow::Config cfg;
+  cfg.base_rtt = milliseconds(10);
+  cfg.initial_ssthresh = 1e9;  // stay in slow start until the first loss
+  TcpFlow flow(q, link, cfg);
+  flow.start(Timestamp{0});
+  q.run_until(Timestamp{0} + seconds(5));
+  EXPECT_GT(flow.packets_lost(), 0u);
+  // After losses the window must sit near the pipe size, far below the
+  // slow-start trajectory.
+  EXPECT_LT(flow.cwnd(), 64.0);
+}
+
+// ------------------------------------------------------------- Congestion
+
+std::vector<net::Packet> foreground(double pps, double secs,
+                                    std::uint64_t seed) {
+  trace::TraceConfig cfg;
+  cfg.prefixes = trace::default_prefix_pair();
+  cfg.packets_per_second = pps;
+  cfg.duration = net::seconds_f(secs);
+  cfg.seed = seed;
+  // Keep the monitored sequence near-Poisson: congestion (and its delay
+  // variance) comes from the background flows, per the §7.2 scenario.
+  cfg.burst_multiplier = 1.2;
+  cfg.burst_fraction = 0.2;
+  return trace::generate_trace(cfg);
+}
+
+TEST(Congestion, NoBackgroundMeansNearConstantDelay) {
+  const auto fg = foreground(20'000, 1.0, 11);
+  CongestionConfig cfg;
+  cfg.kind = CongestionKind::kNone;
+  const CongestionResult r = simulate_congestion(cfg, fg);
+  EXPECT_EQ(r.foreground_drops, 0u);
+  // Transmission of <=1500 B at 500 Mbps is 24 us; plus 200 us propagation.
+  EXPECT_LT(r.max_delay, milliseconds(1));
+}
+
+TEST(Congestion, BurstyUdpCreatesDelaySpikes) {
+  const auto fg = foreground(50'000, 2.0, 13);
+  CongestionConfig cfg;
+  cfg.kind = CongestionKind::kBurstyUdp;
+  // The 50 kpps test foreground is ~176 Mbps; push the UDP peak high
+  // enough that ON periods oversubscribe the 500 Mbps bottleneck.
+  cfg.udp.peak_bps = 450e6;
+  cfg.seed = 2;
+  const CongestionResult r = simulate_congestion(cfg, fg);
+  EXPECT_EQ(r.foreground_drops, 0u) << "buffer must absorb the foreground";
+  EXPECT_GT(r.max_delay, milliseconds(5)) << "no spikes -> no experiment";
+  // Delay must be bimodal-ish: median far below max.
+  auto delays = delay_series_ms(r);
+  std::sort(delays.begin(), delays.end());
+  const double median = delays[delays.size() / 2];
+  EXPECT_GT(r.max_delay.milliseconds(), 4 * median);
+}
+
+TEST(Congestion, MixedKindAddsTcp) {
+  const auto fg = foreground(20'000, 1.0, 17);
+  CongestionConfig cfg;
+  cfg.kind = CongestionKind::kMixed;
+  const CongestionResult r = simulate_congestion(cfg, fg);
+  EXPECT_GT(r.background_sent, 0u);
+}
+
+TEST(Congestion, RejectsEmptyForeground) {
+  CongestionConfig cfg;
+  const std::vector<net::Packet> none;
+  EXPECT_THROW(simulate_congestion(cfg, none), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- PathRun
+
+PathEnvironment two_transit_env() {
+  // S -> A -> B -> D: 4 domains, 6 HOPs.
+  PathEnvironment env;
+  env.domains.resize(4);
+  env.links.resize(3);
+  env.seed = 21;
+  return env;
+}
+
+TEST(PathRun, AllHopsSeeAllPacketsWithoutLoss) {
+  const auto fg = foreground(10'000, 0.5, 23);
+  const PathEnvironment env = two_transit_env();
+  const PathRunResult r = run_path(fg, env);
+  ASSERT_EQ(r.hop_observations.size(), 6u);
+  for (const ObsSeq& seq : r.hop_observations) {
+    EXPECT_EQ(seq.size(), fg.size());
+  }
+  EXPECT_EQ(r.delivered, fg.size());
+}
+
+TEST(PathRun, LossInsideDomainHidesPacketsDownstreamOnly) {
+  const auto fg = foreground(10'000, 0.5, 29);
+  PathEnvironment env = two_transit_env();
+  loss::BernoulliLoss loss(0.2, 31);
+  env.domains[1].loss = &loss;  // first transit domain drops 20%
+  const PathRunResult r = run_path(fg, env);
+  // Ingress of domain 1 sees everything; egress sees ~80%.
+  EXPECT_EQ(r.hop_observations[1].size(), fg.size());
+  EXPECT_NEAR(static_cast<double>(r.hop_observations[2].size()),
+              0.8 * static_cast<double>(fg.size()),
+              0.03 * static_cast<double>(fg.size()));
+  // Downstream HOPs see exactly what the egress saw.
+  EXPECT_EQ(r.hop_observations[3].size(), r.hop_observations[2].size());
+}
+
+TEST(PathRun, LinkLossDropsBetweenDomains) {
+  const auto fg = foreground(10'000, 0.5, 37);
+  PathEnvironment env = two_transit_env();
+  loss::BernoulliLoss loss(0.5, 41);
+  env.links[1].loss = &loss;  // link between the two transit domains
+  const PathRunResult r = run_path(fg, env);
+  EXPECT_EQ(r.hop_observations[2].size(), fg.size());
+  EXPECT_NEAR(static_cast<double>(r.hop_observations[3].size()),
+              0.5 * static_cast<double>(fg.size()),
+              0.05 * static_cast<double>(fg.size()));
+}
+
+TEST(PathRun, DomainDelayAppliedBetweenIngressAndEgress) {
+  const auto fg = foreground(5'000, 0.5, 43);
+  PathEnvironment env = two_transit_env();
+  env.domains[1].delay_of = [](PacketIndex) { return milliseconds(7); };
+  const PathRunResult r = run_path(fg, env);
+  const auto delays = true_domain_delays_ms(r, env, 1);
+  ASSERT_EQ(delays.size(), fg.size());
+  for (const auto& [pkt, ms] : delays) {
+    EXPECT_NEAR(ms, 7.0, 1e-6);
+  }
+}
+
+TEST(PathRun, ClockOffsetsShiftObservationsNotTruth) {
+  const auto fg = foreground(5'000, 0.2, 47);
+  PathEnvironment env = two_transit_env();
+  env.clock_offsets.assign(env.hop_count(), Duration{0});
+  env.clock_offsets[1] = milliseconds(100);  // domain 1 ingress clock ahead
+  const PathRunResult r = run_path(fg, env);
+  // Raw observation at hop 1 is shifted...
+  const Obs& o = r.hop_observations[1].front();
+  const Obs& o0 = r.hop_observations[0].front();
+  EXPECT_GT((o.when - o0.when), milliseconds(99));
+  // ...but ground-truth delay (offset-corrected) is not.
+  const auto delays = true_domain_delays_ms(r, env, 1);
+  EXPECT_LT(delays.front().second, 50.0);
+}
+
+TEST(PathRun, JitterReordersNearbyPacketsOnly) {
+  const auto fg = foreground(50'000, 0.5, 53);  // 20 us mean spacing
+  PathEnvironment env = two_transit_env();
+  env.domains[1].jitter = microseconds(200);
+  const PathRunResult r = run_path(fg, env);
+  const ObsSeq& egress = r.hop_observations[2];
+  // Some inversions relative to trace order must exist...
+  std::size_t inversions = 0;
+  for (std::size_t i = 1; i < egress.size(); ++i) {
+    if (egress[i].pkt < egress[i - 1].pkt) ++inversions;
+  }
+  EXPECT_GT(inversions, 0u);
+  // ...but observation times are sorted (a HOP sees arrival order).
+  for (std::size_t i = 1; i < egress.size(); ++i) {
+    EXPECT_GE(egress[i].when, egress[i - 1].when);
+  }
+}
+
+TEST(PathRun, TargetedDropRemovesExactlyMatchingPackets) {
+  const auto fg = foreground(10'000, 0.2, 59);
+  PathEnvironment env = two_transit_env();
+  env.domains[1].targeted_drop = [](const net::Packet& p) {
+    return p.sequence % 10 == 0;
+  };
+  const PathRunResult r = run_path(fg, env);
+  for (const Obs& o : r.hop_observations[2]) {
+    EXPECT_NE(fg[o.pkt].sequence % 10, 0u);
+  }
+}
+
+TEST(PathRun, ValidatesEnvironment) {
+  const auto fg = foreground(1'000, 0.1, 61);
+  PathEnvironment env;
+  env.domains.resize(1);
+  EXPECT_THROW(run_path(fg, env), std::invalid_argument);
+  env.domains.resize(3);
+  env.links.resize(1);  // needs 2
+  EXPECT_THROW(run_path(fg, env), std::invalid_argument);
+  env.links.resize(2);
+  env.clock_offsets.resize(3);  // needs 4 (= hop count) or 0
+  EXPECT_THROW(run_path(fg, env), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- Topology
+
+TEST(Topology, FigureOneShape) {
+  const PathTopology topo = PathTopology::figure_one();
+  EXPECT_EQ(topo.domain_count(), 5u);
+  EXPECT_EQ(topo.hop_count(), 8u);
+  EXPECT_EQ(topo.domain_name(2), "X");
+  // HOPs 4 and 5 (paper numbering) belong to X (domain index 2).
+  EXPECT_EQ(topo.domain_of_hop(3), 2u);
+  EXPECT_EQ(topo.domain_of_hop(4), 2u);
+  EXPECT_TRUE(PathTopology::is_ingress(3));
+  EXPECT_FALSE(PathTopology::is_ingress(4));
+}
+
+TEST(Topology, EnvironmentSkeletonIsConsistent) {
+  const PathTopology topo = PathTopology::figure_one();
+  const PathEnvironment env = topo.make_environment(77);
+  EXPECT_EQ(env.domains.size(), 5u);
+  EXPECT_EQ(env.links.size(), 4u);
+  EXPECT_EQ(env.clock_offsets.size(), 8u);
+  const auto fg = foreground(1'000, 0.1, 63);
+  EXPECT_NO_THROW(run_path(fg, env));
+}
+
+TEST(Topology, Validation) {
+  EXPECT_THROW(PathTopology({"only"}), std::invalid_argument);
+  const PathTopology topo = PathTopology::figure_one();
+  EXPECT_THROW((void)topo.hop_id(8), std::out_of_range);
+  EXPECT_THROW((void)topo.domain_of_hop(8), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace vpm::sim
