@@ -41,11 +41,26 @@ void BM_Digest(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine.packet_id(trace[i]));
-    i = (i + 1) % trace.size();
+    if (++i == trace.size()) i = 0;  // avoid a division per packet
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Digest);
+
+// One hash pass producing all three role values — the data-plane digest
+// step after the single-hash refactor.  Compare against BM_Digest: the
+// seeded avalanche finalizers should cost a few cycles, not a re-hash.
+void BM_Decide(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  const net::DigestEngine engine;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.decide(trace[i]));
+    if (++i == trace.size()) i = 0;  // avoid a division per packet
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Decide);
 
 void BM_SamplerObserve(benchmark::State& state) {
   const auto& trace = shared_trace();
@@ -57,7 +72,7 @@ void BM_SamplerObserve(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     sampler.observe(trace[i], trace[i].origin_time);
-    i = (i + 1) % trace.size();
+    if (++i == trace.size()) i = 0;  // avoid a division per packet
     if (i == 0) (void)sampler.take_samples();  // drain, stay bounded
   }
   state.SetItemsProcessed(state.iterations());
@@ -70,11 +85,18 @@ void BM_AggregatorObserve(benchmark::State& state) {
   const net::DigestEngine engine = params.make_engine();
   core::Aggregator agg(engine, core::cut_threshold_for(1e-5),
                        params.reorder_window_j);
+  // Keep observation time monotone across trace replays: a backwards time
+  // jump would freeze the J-window drain and grow the recent buffer to the
+  // whole trace, measuring an artifact instead of the steady state.
+  net::Duration offset{0};
   std::size_t i = 0;
   for (auto _ : state) {
-    agg.observe(trace[i], trace[i].origin_time);
-    i = (i + 1) % trace.size();
-    if (i == 0) (void)agg.take_closed();
+    agg.observe(trace[i], trace[i].origin_time + offset);
+    if (++i == trace.size()) i = 0;  // avoid a division per packet
+    if (i == 0) {
+      (void)agg.take_closed();
+      offset += net::seconds(2);
+    }
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -94,22 +116,88 @@ void BM_FullCollectorObserve(benchmark::State& state) {
   ccfg.tuning = core::HopTuning{.sample_rate = 0.01, .cut_rate = 1e-5};
   collector::MonitoringCache cache(ccfg, multi.paths);
 
+  net::Duration offset{0};
   std::size_t i = 0;
   for (auto _ : state) {
-    cache.observe(multi.packets[i], multi.packets[i].origin_time);
-    i = (i + 1) % multi.packets.size();
+    cache.observe(multi.packets[i], multi.packets[i].origin_time + offset);
+    if (++i == multi.packets.size()) i = 0;
     if (i == 0) {
       state.PauseTiming();
       for (std::size_t p = 0; p < multi.paths.size(); ++p) {
         (void)cache.collect_samples(p);
         (void)cache.collect_aggregates(p);
       }
+      offset += net::seconds(1);
       state.ResumeTiming();
     }
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FullCollectorObserve)->Arg(1)->Arg(100)->Arg(10000);
+
+// Cache-wide packet rate through the batch entry point: classify, digest
+// and dispatch in one tight loop (flat-table classifier, one hash/packet,
+// cost counters in registers).
+void BM_CacheObserveBatch(benchmark::State& state) {
+  const auto paths_n = static_cast<std::size_t>(state.range(0));
+  trace::MultiPathConfig mcfg;
+  mcfg.path_count = paths_n;
+  mcfg.total_packets_per_second = 200'000;
+  mcfg.duration = net::seconds(1);
+  mcfg.seed = 3;
+  const auto multi = trace::generate_multi_path(mcfg);
+
+  collector::MonitoringCache::Config ccfg;
+  ccfg.protocol = protocol();
+  ccfg.tuning = core::HopTuning{.sample_rate = 0.01, .cut_rate = 1e-5};
+  collector::MonitoringCache cache(ccfg, multi.paths);
+
+  // Reused timestamp span, shifted each replay to keep local time monotone
+  // (see BM_AggregatorObserve).
+  std::vector<net::Timestamp> when(multi.packets.size());
+  net::Duration offset{0};
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t k = 0; k < multi.packets.size(); ++k) {
+      when[k] = multi.packets[k].origin_time + offset;
+    }
+    offset += net::seconds(1);
+    state.ResumeTiming();
+
+    cache.observe_batch(multi.packets, when);
+
+    state.PauseTiming();
+    for (std::size_t p = 0; p < multi.paths.size(); ++p) {
+      (void)cache.collect_samples(p);
+      (void)cache.collect_aggregates(p);
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(multi.packets.size()));
+}
+BENCHMARK(BM_CacheObserveBatch)->Arg(1)->Arg(100)->Arg(10000);
+
+// The per-packet classify step in isolation (flat table vs the former
+// std::unordered_map lookup).
+void BM_Classify(benchmark::State& state) {
+  const auto paths_n = static_cast<std::size_t>(state.range(0));
+  trace::MultiPathConfig mcfg;
+  mcfg.path_count = paths_n;
+  mcfg.total_packets_per_second = 200'000;
+  mcfg.duration = net::seconds(1);
+  mcfg.seed = 3;
+  const auto multi = trace::generate_multi_path(mcfg);
+  const collector::PathClassifier classifier(multi.paths);
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.classify(multi.packets[i].header));
+    if (++i == multi.packets.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Classify)->Arg(100)->Arg(10000);
 
 }  // namespace
 

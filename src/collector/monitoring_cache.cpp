@@ -1,5 +1,6 @@
 #include "collector/monitoring_cache.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace vpm::collector {
@@ -8,11 +9,21 @@ PathClassifier::PathClassifier(std::span<const net::PrefixPair> paths) {
   if (paths.empty()) {
     throw std::invalid_argument("PathClassifier: no paths");
   }
+  if (paths.size() >= kEmpty) {
+    throw std::invalid_argument("PathClassifier: too many paths");
+  }
   const std::uint8_t src_len = paths.front().source.length();
   const std::uint8_t dst_len = paths.front().destination.length();
   src_mask_ = paths.front().source.mask();
   dst_mask_ = paths.front().destination.mask();
-  table_.reserve(paths.size() * 2);
+  paths_ = paths.size();
+
+  // Size the table once: smallest power of two holding the paths at load
+  // factor <= 0.5, so probe chains stay short and insertion never rehashes.
+  const std::size_t slots = std::bit_ceil(paths.size() * 2);
+  slots_.resize(slots);
+  mask_ = slots - 1;
+
   for (std::size_t i = 0; i < paths.size(); ++i) {
     if (paths[i].source.length() != src_len ||
         paths[i].destination.length() != dst_len) {
@@ -22,23 +33,20 @@ PathClassifier::PathClassifier(std::span<const net::PrefixPair> paths) {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(paths[i].source.network().value()) << 32) |
         paths[i].destination.network().value();
-    if (!table_.emplace(key, i).second) {
-      throw std::invalid_argument("duplicate prefix pair in path table");
+    std::size_t s = slot_of(key);
+    while (slots_[s].index != kEmpty) {
+      if (slots_[s].key == key) {
+        throw std::invalid_argument("duplicate prefix pair in path table");
+      }
+      s = (s + 1) & mask_;
     }
+    slots_[s] = Slot{.key = key, .index = static_cast<std::uint32_t>(i)};
   }
-}
-
-std::size_t PathClassifier::classify(const net::PacketHeader& h) const {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(h.src.value() & src_mask_) << 32) |
-      (h.dst.value() & dst_mask_);
-  const auto it = table_.find(key);
-  return it == table_.end() ? npos : it->second;
 }
 
 MonitoringCache::MonitoringCache(Config cfg,
                                  std::span<const net::PrefixPair> paths)
-    : classifier_(paths) {
+    : classifier_(paths), engine_(cfg.protocol.make_engine()) {
   monitors_.reserve(paths.size());
   for (const net::PrefixPair& pair : paths) {
     core::HopMonitorConfig mc;
@@ -62,13 +70,56 @@ std::size_t MonitoringCache::observe(const net::Packet& p,
     ++unknown_;
     return path;
   }
-  monitors_[path]->observe(p, when);
+  // One hash per packet: decide() feeds both sampler and aggregator.
+  const net::PacketDecisions d = engine_.decide(p);
+  const std::size_t swept = monitors_[path]->observe(d, when);
   // §7.1 cost model: look up PathID, update PktCnt, store the
-  // digest/timestamp record = 3 accesses; 1 digest; 1 timestamp.
+  // digest/timestamp record = 3 accesses; 1 digest; 1 timestamp; plus the
+  // deferred sweep accesses when the packet was a marker.
   ops_.memory_accesses += 3;
   ops_.hash_computations += 1;
   ops_.timestamp_reads += 1;
+  ops_.marker_sweep_accesses += swept;
   return path;
+}
+
+void MonitoringCache::observe_batch_impl(std::span<const net::Packet> packets,
+                                         std::span<const net::Timestamp> when) {
+  // Tight loop: counters stay in registers and flush once at the end.
+  const bool use_origin_time = when.empty();
+  std::uint64_t unknown = 0;
+  std::uint64_t observed = 0;
+  std::uint64_t swept = 0;
+  const std::unique_ptr<core::HopMonitor>* monitors = monitors_.data();
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const net::Packet& p = packets[i];
+    const std::size_t path = classifier_.classify(p.header);
+    if (path == PathClassifier::npos) {
+      ++unknown;
+      continue;
+    }
+    const net::PacketDecisions d = engine_.decide(p);
+    swept += monitors[path]->observe(
+        d, use_origin_time ? p.origin_time : when[i]);
+    ++observed;
+  }
+  unknown_ += unknown;
+  ops_.memory_accesses += observed * 3;
+  ops_.hash_computations += observed;
+  ops_.timestamp_reads += observed;
+  ops_.marker_sweep_accesses += swept;
+}
+
+void MonitoringCache::observe_batch(std::span<const net::Packet> packets,
+                                    std::span<const net::Timestamp> when) {
+  if (packets.size() != when.size()) {
+    throw std::invalid_argument("observe_batch: packet/timestamp mismatch");
+  }
+  observe_batch_impl(packets, when);
+}
+
+void MonitoringCache::observe_batch(std::span<const net::Packet> packets) {
+  observe_batch_impl(packets, {});
 }
 
 core::SampleReceipt MonitoringCache::collect_samples(std::size_t path) {

@@ -9,13 +9,25 @@
 // This wraps per-path HopMonitor state behind a prefix-pair classifier and
 // accounts for the memory a hardware implementation would need, which the
 // overhead bench reports against the paper's 2 MB / 100 k-path figure.
+//
+// Data-plane fast path.  The per-packet step is classify -> digest ->
+// dispatch, engineered to the paper's §7.1 budget of three memory
+// accesses, ONE hash function and one timestamp computation per packet:
+//   * PathClassifier is a preallocated open-addressing flat table
+//     (power-of-two size, linear probing) — one multiply-hash plus a
+//     short contiguous probe, no std::unordered_map node chasing;
+//   * the packet is hashed exactly once (DigestEngine::decide) and the
+//     resulting PacketDecisions feed both the sampler and the aggregator;
+//   * observe_batch() runs the loop over a span of packets, keeping the
+//     cost counters in registers and amortizing per-call overhead.
+// DataPlaneOps tracks the budget; hash_computations == observed packets
+// by construction, with marker-sweep work accounted separately.
 #ifndef VPM_COLLECTOR_MONITORING_CACHE_HPP
 #define VPM_COLLECTOR_MONITORING_CACHE_HPP
 
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/hop_monitor.hpp"
@@ -25,36 +37,71 @@
 namespace vpm::collector {
 
 /// Classifies packets to path indices by masking src/dst addresses to a
-/// fixed prefix length and looking the pair up.  (A production router
-/// would use its FIB; uniform-length origin prefixes keep this a single
-/// hash lookup per packet.)
+/// fixed prefix length and looking the pair up in a preallocated
+/// open-addressing flat table (power-of-two capacity, linear probing,
+/// load factor <= 0.5).  (A production router would use its FIB;
+/// uniform-length origin prefixes keep this a single multiply-hash plus a
+/// short linear probe per packet.)
 class PathClassifier {
  public:
-  /// All pairs must use the same prefix lengths.  Throws
-  /// std::invalid_argument on empty input or mixed lengths.
+  /// All pairs must use the same prefix lengths.  The table is sized once
+  /// at construction (no rehashing later).  Throws std::invalid_argument
+  /// on empty input, mixed lengths, or a duplicate prefix pair (which
+  /// would otherwise silently shadow one path's state).
   explicit PathClassifier(std::span<const net::PrefixPair> paths);
 
   /// Path index for this packet, or npos if it matches no known path.
-  [[nodiscard]] std::size_t classify(const net::PacketHeader& h) const;
+  [[nodiscard]] std::size_t classify(const net::PacketHeader& h) const
+      noexcept {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(h.src.value() & src_mask_) << 32) |
+        (h.dst.value() & dst_mask_);
+    std::size_t i = slot_of(key);
+    while (slots_[i].index != kEmpty) {
+      if (slots_[i].key == key) return slots_[i].index;
+      i = (i + 1) & mask_;
+    }
+    return npos;
+  }
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
-  [[nodiscard]] std::size_t path_count() const noexcept {
-    return table_.size();
+  [[nodiscard]] std::size_t path_count() const noexcept { return paths_; }
+  /// Allocated slots (>= 2x path_count, for the probe-length bound).
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return slots_.size();
   }
 
  private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t index = kEmpty;
+  };
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+
+  [[nodiscard]] std::size_t slot_of(std::uint64_t key) const noexcept {
+    // Fibonacci hashing: the golden-ratio multiply diffuses the masked
+    // address bits; the top 32 bits index the power-of-two table.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
+           mask_;
+  }
+
   std::uint32_t src_mask_ = 0;
   std::uint32_t dst_mask_ = 0;
-  std::unordered_map<std::uint64_t, std::size_t> table_;
+  std::size_t mask_ = 0;  ///< slots_.size() - 1
+  std::size_t paths_ = 0;
+  std::vector<Slot> slots_;
 };
 
 /// Per-packet data-plane cost counters (the §7.1 processing claim: three
 /// memory accesses, one hash, one timestamp per packet, plus one more
-/// access per packet at marker sweeps).
+/// access per buffered record at marker sweeps).
 struct DataPlaneOps {
   std::uint64_t memory_accesses = 0;
   std::uint64_t hash_computations = 0;
   std::uint64_t timestamp_reads = 0;
+  /// Temp-buffer records evaluated at marker sweeps (the deferred
+  /// per-packet access the paper folds into "one more memory access").
+  std::uint64_t marker_sweep_accesses = 0;
 };
 
 /// One HOP's full collector: classifier + per-path monitors + accounting.
@@ -73,9 +120,19 @@ class MonitoringCache {
   /// routing, not data).  Throws on classifier/config errors.
   MonitoringCache(Config cfg, std::span<const net::PrefixPair> paths);
 
-  /// Data-plane step: classify and update.  Unknown-path packets are
-  /// counted and otherwise ignored.  Returns the path index or npos.
+  /// Data-plane step: classify, digest once, update.  Unknown-path packets
+  /// are counted and otherwise ignored (and not hashed).  Returns the path
+  /// index or npos.
   std::size_t observe(const net::Packet& p, net::Timestamp when);
+
+  /// Batch data-plane step: classify, digest and dispatch each packet in
+  /// one tight loop, amortizing per-call overhead.  `when[i]` is the local
+  /// observation time of `packets[i]`.
+  void observe_batch(std::span<const net::Packet> packets,
+                     std::span<const net::Timestamp> when);
+  /// Trace-replay convenience: observes each packet at its origin_time
+  /// (the local clock of the first HOP in a simulated run).
+  void observe_batch(std::span<const net::Packet> packets);
 
   /// Control-plane drain for one path.
   [[nodiscard]] core::SampleReceipt collect_samples(std::size_t path);
@@ -103,7 +160,12 @@ class MonitoringCache {
   }
 
  private:
+  /// Shared batch loop; an empty `when` means "each packet's origin_time".
+  void observe_batch_impl(std::span<const net::Packet> packets,
+                          std::span<const net::Timestamp> when);
+
   PathClassifier classifier_;
+  net::DigestEngine engine_;
   std::vector<std::unique_ptr<core::HopMonitor>> monitors_;
   DataPlaneOps ops_;
   std::uint64_t unknown_ = 0;

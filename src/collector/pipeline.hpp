@@ -86,6 +86,8 @@ class VpmElement final : public Element {
     return true;
   }
   [[nodiscard]] std::string name() const override { return "VpmCollector"; }
+  /// Batch callers go through cache().observe_batch() directly — that is
+  /// a cache-level entry and does not traverse the other elements.
   [[nodiscard]] MonitoringCache& cache() noexcept { return cache_; }
 
  private:

@@ -4,6 +4,33 @@
 
 namespace vpm::core {
 
+Aggregator::Aggregator(const net::DigestEngine& engine,
+                       std::uint32_t cut_threshold, net::Duration j_window)
+    : engine_(engine), cut_threshold_(cut_threshold), j_window_(j_window) {
+  if (j_window_ > net::Duration{0}) {
+    ring_.resize(64);  // power of two; grows by doubling as the J window fills
+  }
+  pending_.reserve(4);
+  closed_.reserve(8);
+}
+
+void Aggregator::ring_grow() {
+  // Double and linearize: entries move to [0, size) of the new backing.
+  std::vector<Recent> bigger(ring_.size() * 2);
+  const std::size_t mask = ring_.size() - 1;
+  for (std::size_t i = 0; i < ring_size_; ++i) {
+    bigger[i] = ring_[(ring_head_ + i) & mask];
+  }
+  ring_.swap(bigger);
+  ring_head_ = 0;
+}
+
+void Aggregator::ring_push(const Recent& r) {
+  if (ring_size_ == ring_.size()) ring_grow();
+  ring_[(ring_head_ + ring_size_) & (ring_.size() - 1)] = r;
+  ++ring_size_;
+}
+
 void Aggregator::finalize_due(net::Timestamp now) {
   // A pending aggregate's AggTrans is complete once we are J past its
   // boundary: no packet observed from now on can fall inside the window.
@@ -18,13 +45,12 @@ void Aggregator::finalize_due(net::Timestamp now) {
   pending_.erase(it, pending_.end());
 }
 
-void Aggregator::observe(const net::Packet& p, net::Timestamp when) {
+void Aggregator::observe(const net::PacketDecisions& d, net::Timestamp when) {
   ++observed_;
-  const net::PacketDigest id = engine_.packet_id(p);
-  const bool is_cut =
-      open_.has_value() && engine_.cut_value(p) > cut_threshold_;
+  const net::PacketDigest id = d.id;
+  const bool is_cut = open_.has_value() && d.cut_value > cut_threshold_;
 
-  finalize_due(when);
+  if (!pending_.empty()) finalize_due(when);
 
   if (is_cut) {
     // Algorithm 2, lines 2-5: close the current receipt; p starts the next
@@ -38,12 +64,16 @@ void Aggregator::observe(const net::Packet& p, net::Timestamp when) {
       pend.data.packet_count = open_->count;
       pend.data.opened_at = open_->opened_at;
       pend.data.closed_at = open_->last_at;
-      pend.data.trans.before.reserve(recent_.size());
-      for (const Recent& r : recent_) {
+      pend.data.trans.before.reserve(ring_size_);
+      const std::size_t mask = ring_.size() - 1;
+      for (std::size_t i = 0; i < ring_size_; ++i) {
+        const Recent& r = ring_[(ring_head_ + i) & mask];
         if (r.time + j_window_ >= when) {
           pend.data.trans.before.push_back(r.id);
         }
       }
+      // The trailing window is roughly symmetric to the leading one.
+      pend.data.trans.after.reserve(pend.data.trans.before.size() + 1);
       pending_.push_back(std::move(pend));
     } else {
       // Basic §6.2 mode: no reorder window, close immediately.
@@ -75,17 +105,21 @@ void Aggregator::observe(const net::Packet& p, net::Timestamp when) {
   }
 
   if (j_window_ > net::Duration{0}) {
-    recent_.push_back(Recent{id, when});
-    while (!recent_.empty() && recent_.front().time + j_window_ < when) {
-      recent_.pop_front();
+    ring_push(Recent{id, when});
+    const std::size_t mask = ring_.size() - 1;
+    while (ring_size_ != 0 &&
+           ring_[ring_head_ & mask].time + j_window_ < when) {
+      ring_head_ = (ring_head_ + 1) & mask;
+      --ring_size_;
     }
-    window_peak_ = std::max(window_peak_, recent_.size());
+    window_peak_ = std::max(window_peak_, ring_size_);
   }
 }
 
 std::vector<AggregateData> Aggregator::take_closed() {
   std::vector<AggregateData> out;
   out.swap(closed_);
+  closed_.reserve(8);  // the drained vector took the old capacity along
   return out;
 }
 

@@ -17,7 +17,6 @@
 #define VPM_CORE_AGGREGATOR_HPP
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -43,11 +42,17 @@ class Aggregator {
   /// system-wide reorder safety threshold J.  If `j_window` is zero no
   /// AggTrans state is kept (the §6.2 "basic solution").
   Aggregator(const net::DigestEngine& engine, std::uint32_t cut_threshold,
-             net::Duration j_window) noexcept
-      : engine_(engine), cut_threshold_(cut_threshold), j_window_(j_window) {}
+             net::Duration j_window);
 
   /// Feed one packet observation (Algorithm 2's per-packet step).
-  void observe(const net::Packet& p, net::Timestamp when);
+  /// Computes the packet's decision values itself — one hash pass.
+  void observe(const net::Packet& p, net::Timestamp when) {
+    observe(engine_.decide(p), when);
+  }
+
+  /// Fast path: decisions were already computed upstream (one hash per
+  /// packet, shared with the sampler — see HopMonitor::observe).
+  void observe(const net::PacketDecisions& d, net::Timestamp when);
 
   /// Drain aggregates whose trailing AggTrans window is complete.
   [[nodiscard]] std::vector<AggregateData> take_closed();
@@ -86,13 +91,20 @@ class Aggregator {
   };
 
   void finalize_due(net::Timestamp now);
+  void ring_push(const Recent& r);
+  void ring_grow();
 
   net::DigestEngine engine_;
   std::uint32_t cut_threshold_;
   net::Duration j_window_;
 
   std::optional<Open> open_;
-  std::deque<Recent> recent_;  ///< observations within the last J
+  /// Observations within the last J, as a preallocated power-of-two ring
+  /// (head_ + size_, linear probing-free): a sliding window that never
+  /// allocates in steady state, unlike the deque it replaces.
+  std::vector<Recent> ring_;
+  std::size_t ring_head_ = 0;
+  std::size_t ring_size_ = 0;
   std::vector<Pending> pending_;
   std::vector<AggregateData> closed_;
   std::size_t window_peak_ = 0;

@@ -16,14 +16,81 @@ net::PacketDigest boundary_of(std::span<const AggregateReceipt> seq,
   return 0;
 }
 
+/// Each side's boundary-id membership plus the "inverted" subset: common
+/// cutting-point ids whose neighbourhood order differs between the two
+/// sequences.  Two cutting points that land within the reorder window of
+/// each other can swap across a link; both the pairwise migration
+/// arithmetic and the 1:1 boundary match assume a shared boundary order,
+/// so inverted boundaries must be treated as unmatchable — patch-up skips
+/// them and the join coarsens across them on both sides.  Detection:
+/// restrict each side's boundary sequence to the ids present on both
+/// sides; an id whose predecessor differs between the restricted
+/// sequences sits in an order-swapped neighbourhood.  (Loss-merged
+/// boundaries are absent from one side, hence excluded, so plain loss
+/// never marks a boundary inverted.)
+///
+/// Deliberately conservative: the first well-ordered boundary AFTER a
+/// swapped pair is also flagged (its predecessor differs between the
+/// sides).  That is intentional — swaps only happen between cuts closer
+/// than the reorder window, so that boundary's AggTrans windows can
+/// straddle the swapped region and its pairwise migrations would act on
+/// mismatched aggregate pairs.  Coarsening one extra aggregate pair per
+/// (rare) swap region costs granularity, never correctness.
+struct BoundarySets {
+  std::unordered_set<net::PacketDigest> up_ids;
+  std::unordered_set<net::PacketDigest> down_ids;
+  std::unordered_set<net::PacketDigest> inverted;
+};
+
+BoundarySets boundary_sets(std::span<const AggregateReceipt> up,
+                           std::span<const AggregateReceipt> down) {
+  BoundarySets s;
+  s.up_ids.reserve(up.size() * 2);
+  for (std::size_t i = 1; i < up.size(); ++i) s.up_ids.insert(up[i].agg.first);
+  s.down_ids.reserve(down.size() * 2);
+  for (std::size_t j = 1; j < down.size(); ++j) {
+    s.down_ids.insert(down[j].agg.first);
+  }
+
+  std::unordered_map<net::PacketDigest, net::PacketDigest> up_prev;
+  net::PacketDigest prev = 0;
+  for (std::size_t i = 1; i < up.size(); ++i) {
+    const net::PacketDigest id = up[i].agg.first;
+    if (!s.down_ids.contains(id)) continue;
+    up_prev.emplace(id, prev);
+    prev = id;
+  }
+  prev = 0;
+  for (std::size_t j = 1; j < down.size(); ++j) {
+    const net::PacketDigest id = down[j].agg.first;
+    if (!s.up_ids.contains(id)) continue;
+    const auto it = up_prev.find(id);
+    if (it == up_prev.end() || it->second != prev) s.inverted.insert(id);
+    prev = id;
+  }
+  return s;
+}
+
 }  // namespace
 
-PatchupResult patch_up(std::span<const AggregateReceipt> up,
-                       std::span<const AggregateReceipt> down) {
+namespace {
+
+/// patch_up with the inverted-boundary set precomputed (align_aggregates
+/// shares one computation between patch-up and the join; patching only
+/// rewrites packet counts, never boundary ids, so the set is valid for
+/// both).
+PatchupResult patch_up_with(
+    std::span<const AggregateReceipt> up,
+    std::span<const AggregateReceipt> down,
+    const std::unordered_set<net::PacketDigest>& inverted) {
   PatchupResult result;
   result.down.assign(down.begin(), down.end());
 
-  // Index upstream boundaries by cutting-packet id.
+  // Index upstream boundaries by cutting-packet id.  Boundaries whose
+  // order swapped across the link ("inverted") are skipped: the
+  // (down[j], down[j+1]) pair no longer faces the matching upstream
+  // pair, so the migration arithmetic below would shift counts between
+  // the wrong neighbours.  The join coarsens across these instead.
   std::unordered_map<net::PacketDigest, std::size_t> up_boundary;
   up_boundary.reserve(up.size() * 2);
   for (std::size_t i = 0; i < up.size(); ++i) {
@@ -31,9 +98,15 @@ PatchupResult patch_up(std::span<const AggregateReceipt> up,
     if (b != 0) up_boundary.emplace(b, i);
   }
 
+  // Migrations are accumulated as signed deltas and applied once at the
+  // end: a packet reordered across several nearby boundaries migrates at
+  // each of them (chained +1/-1 on the aggregate between), and applying
+  // eagerly could drive a small aggregate's unsigned count through zero
+  // mid-pass, silently dropping the rest of its migrations.
+  std::vector<std::int64_t> delta(result.down.size(), 0);
   for (std::size_t j = 0; j + 1 < result.down.size(); ++j) {
     const net::PacketDigest b = boundary_of(down, j);
-    if (b == 0) continue;
+    if (b == 0 || inverted.contains(b)) continue;
     const auto it = up_boundary.find(b);
     if (it == up_boundary.end()) continue;  // unmatched: join will merge
     const AggregateReceipt& u = up[it->second];
@@ -43,30 +116,41 @@ PatchupResult patch_up(std::span<const AggregateReceipt> up,
     std::unordered_set<net::PacketDigest> up_after(u.trans.after.begin(),
                                                    u.trans.after.end());
 
-    AggregateReceipt& left = result.down[j];
-    AggregateReceipt& right = result.down[j + 1];
-
     // Section 6.3: a packet the upstream HOP saw before the cut but the
     // downstream HOP saw after it migrates into the earlier aggregate
     // (and vice versa), so both HOPs' receipts describe the same
     // membership.
     for (const net::PacketDigest id : down[j].trans.after) {
       if (id == b) continue;  // the cutting packet itself defines the cut
-      if (up_before.contains(id) && right.packet_count > 0) {
-        ++left.packet_count;
-        --right.packet_count;
+      if (up_before.contains(id)) {
+        ++delta[j];
+        --delta[j + 1];
         ++result.migrations;
       }
     }
     for (const net::PacketDigest id : down[j].trans.before) {
-      if (up_after.contains(id) && left.packet_count > 0) {
-        --left.packet_count;
-        ++right.packet_count;
+      if (up_after.contains(id)) {
+        --delta[j];
+        ++delta[j + 1];
         ++result.migrations;
       }
     }
   }
+  for (std::size_t j = 0; j < result.down.size(); ++j) {
+    const auto count = static_cast<std::int64_t>(result.down[j].packet_count);
+    // Honest receipts never go negative (the final count is a membership
+    // count); clamp defensively against inconsistent/hostile input.
+    result.down[j].packet_count =
+        static_cast<std::uint32_t>(std::max<std::int64_t>(0, count + delta[j]));
+  }
   return result;
+}
+
+}  // namespace
+
+PatchupResult patch_up(std::span<const AggregateReceipt> up,
+                       std::span<const AggregateReceipt> down) {
+  return patch_up_with(up, down, boundary_sets(up, down).inverted);
 }
 
 AlignmentResult align_aggregates(std::span<const AggregateReceipt> up,
@@ -75,22 +159,23 @@ AlignmentResult align_aggregates(std::span<const AggregateReceipt> up,
   AlignmentResult result;
   if (up.empty() || down.empty()) return result;
 
+  // Computed once, shared by patch-up and the boundary-match loop below
+  // (patching rewrites packet counts only, never boundary ids): each
+  // side's boundary-id membership decides which side merges; the inverted
+  // subset is treated as unmatchable.
+  const BoundarySets sets = boundary_sets(up, down);
+  const std::unordered_set<net::PacketDigest>& up_cuts = sets.up_ids;
+  const std::unordered_set<net::PacketDigest>& down_cuts = sets.down_ids;
+  const std::unordered_set<net::PacketDigest>& inverted = sets.inverted;
+
   PatchupResult patched;
   if (apply_patchup) {
-    patched = patch_up(up, down);
+    patched = patch_up_with(up, down, inverted);
     result.migrations = patched.migrations;
   } else {
     patched.down.assign(down.begin(), down.end());
   }
   const std::vector<AggregateReceipt>& d = patched.down;
-
-  // Global boundary-id membership, for deciding which side merges.
-  std::unordered_set<net::PacketDigest> up_cuts;
-  up_cuts.reserve(up.size() * 2);
-  for (std::size_t i = 1; i < up.size(); ++i) up_cuts.insert(up[i].agg.first);
-  std::unordered_set<net::PacketDigest> down_cuts;
-  down_cuts.reserve(d.size() * 2);
-  for (std::size_t j = 1; j < d.size(); ++j) down_cuts.insert(d[j].agg.first);
 
   std::size_t i = 0;
   std::size_t j = 0;
@@ -121,7 +206,8 @@ AlignmentResult align_aggregates(std::span<const AggregateReceipt> up,
     const net::PacketDigest up_cut = up_has ? up[i + 1].agg.first : 0;
     const net::PacketDigest down_cut = down_has ? d[j + 1].agg.first : 0;
 
-    if (up_has && down_has && up_cut == down_cut) {
+    if (up_has && down_has && up_cut == down_cut &&
+        !inverted.contains(up_cut)) {
       // Matched boundary: emit the joined aggregate.
       acc.boundary_id = up_cut;
       result.aligned.push_back(acc);
@@ -145,9 +231,15 @@ AlignmentResult align_aggregates(std::span<const AggregateReceipt> up,
       ++result.boundaries_merged_down;
       continue;
     }
-    // Both boundaries exist on the other side but disagree on order —
-    // digest collision or cross-boundary reordering.  Merge downstream to
-    // guarantee progress; the counts stay conserved.
+    // Cutting points whose order swapped across the link (both cuts exist
+    // on the other side, but their neighbourhoods disagree): no 1:1 match
+    // exists, so coarsen across the region on BOTH sides in lockstep —
+    // membership stays inside the combined aggregate and the counts stay
+    // conserved.  (Advancing only one side here can run away past
+    // perfectly good boundaries.)
+    ++i;
+    absorb_up(i);
+    ++result.boundaries_merged_up;
     ++j;
     absorb_down(j);
     ++result.boundaries_merged_down;

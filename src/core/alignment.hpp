@@ -11,6 +11,14 @@
 // realisation of Join.  With patch-up enabled it first migrates packets
 // across matched boundaries using the AggTrans windows, exactly as the
 // Section 6.3 example migrates p4 between HOP 4's aggregates.
+//
+// Boundary-order inversions: when two cutting points land within the
+// reorder window of each other, they can swap across a link.  The §6.3
+// pairwise migration assumes each boundary separates the same two
+// aggregates at both HOPs, which no longer holds in a swapped
+// neighbourhood — so patch-up skips migrations at inverted boundaries and
+// the join coarsens across them on both sides (counts stay conserved; the
+// affected region just reports at one-coarser granularity).
 #ifndef VPM_CORE_ALIGNMENT_HPP
 #define VPM_CORE_ALIGNMENT_HPP
 

@@ -40,10 +40,20 @@ class HopMonitor {
                     cfg.protocol.reorder_window_j) {}
 
   /// Data-plane per-packet step (classification into this path has already
-  /// happened).
-  void observe(const net::Packet& p, net::Timestamp local_time) {
-    sampler_.observe(p, local_time);
-    aggregator_.observe(p, local_time);
+  /// happened).  Hashes the packet exactly once: the digest engine's
+  /// decide() feeds both the sampler and the aggregator.  Returns the
+  /// number of temp-buffer records swept if the packet was a marker.
+  std::size_t observe(const net::Packet& p, net::Timestamp local_time) {
+    return observe(engine_.decide(p), local_time);
+  }
+
+  /// Fast path for callers that already computed the packet's decisions
+  /// (the monitoring cache's batch loop).
+  std::size_t observe(const net::PacketDecisions& d,
+                      net::Timestamp local_time) {
+    const std::size_t swept = sampler_.observe(d, local_time);
+    aggregator_.observe(d, local_time);
+    return swept;
   }
 
   /// Drain sampled measurements into a receipt.
@@ -70,6 +80,9 @@ class HopMonitor {
   }
 
   [[nodiscard]] const net::PathId& path() const noexcept { return path_; }
+  [[nodiscard]] const net::DigestEngine& engine() const noexcept {
+    return engine_;
+  }
   [[nodiscard]] const DelaySampler& sampler() const noexcept {
     return sampler_;
   }

@@ -3,35 +3,63 @@
 #include <algorithm>
 
 namespace vpm::core {
+namespace {
 
-void DelaySampler::observe(const net::Packet& p, net::Timestamp when) {
+// Upfront reservation for the temp buffer: two mean marker gaps, capped
+// low because a monitoring cache holds one sampler per path (100k paths x
+// a generous reserve would burn gigabytes before any traffic arrives).
+// The arena grows on demand past this and then keeps its capacity — the
+// steady state never allocates either way.
+std::size_t buffer_reserve_for(std::uint32_t marker_threshold) noexcept {
+  const double rate = net::threshold_to_rate(marker_threshold);
+  const double gap = rate > 0.0 ? 1.0 / rate : 256.0;
+  return static_cast<std::size_t>(std::clamp(2.0 * gap, 16.0, 256.0));
+}
+
+}  // namespace
+
+DelaySampler::DelaySampler(const net::DigestEngine& engine,
+                           std::uint32_t marker_threshold,
+                           std::uint32_t sample_threshold)
+    : engine_(engine),
+      marker_threshold_(marker_threshold),
+      sample_threshold_(sample_threshold) {
+  buffer_.reserve(buffer_reserve_for(marker_threshold));
+  emitted_.reserve(64);
+}
+
+std::size_t DelaySampler::observe(const net::PacketDecisions& d,
+                                  net::Timestamp when) {
   ++observed_;
-  const net::PacketDigest id = engine_.packet_id(p);
 
-  if (engine_.marker_value(p) > marker_threshold_) {
+  if (d.marker_value > marker_threshold_) {
     // Algorithm 1, lines 1-6: the marker decides the fate of everything
     // buffered since the previous marker.
     ++markers_;
+    const std::size_t swept = buffer_.size();
+    swept_ += swept;
     for (const Buffered& q : buffer_) {
-      if (net::DigestEngine::sample_value(q.id, id) > sample_threshold_) {
+      if (net::DigestEngine::sample_value(q.id, d.id) > sample_threshold_) {
         emitted_.push_back(
             SampleRecord{.pkt_id = q.id, .time = q.time, .is_marker = false});
       }
     }
     buffer_.clear();
     emitted_.push_back(
-        SampleRecord{.pkt_id = id, .time = when, .is_marker = true});
-    return;
+        SampleRecord{.pkt_id = d.id, .time = when, .is_marker = true});
+    return swept;
   }
 
   // Algorithm 1, line 8: remember the packet until the next marker.
-  buffer_.push_back(Buffered{id, when});
+  buffer_.push_back(Buffered{d.id, when});
   buffer_peak_ = std::max(buffer_peak_, buffer_.size());
+  return 0;
 }
 
 std::vector<SampleRecord> DelaySampler::take_samples() {
   std::vector<SampleRecord> out;
   out.swap(emitted_);
+  emitted_.reserve(64);  // the drained vector took the old capacity along
   return out;
 }
 

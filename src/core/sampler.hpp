@@ -31,14 +31,22 @@ class DelaySampler {
  public:
   /// `engine` must be the protocol-wide digest engine; `marker_threshold`
   /// is mu (system-wide); `sample_threshold` is sigma (local tuning).
+  /// Preallocates the temp buffer to roughly two mean marker gaps so the
+  /// steady-state data plane does not allocate.
   DelaySampler(const net::DigestEngine& engine, std::uint32_t marker_threshold,
-               std::uint32_t sample_threshold) noexcept
-      : engine_(engine),
-        marker_threshold_(marker_threshold),
-        sample_threshold_(sample_threshold) {}
+               std::uint32_t sample_threshold);
 
   /// Feed one packet observation (Algorithm 1's per-packet step).
-  void observe(const net::Packet& p, net::Timestamp when);
+  /// Computes the packet's decision values itself — one hash pass.
+  /// Returns the number of buffered records swept (0 unless p is a
+  /// marker), which drives the §7.1 marker-sweep accounting.
+  std::size_t observe(const net::Packet& p, net::Timestamp when) {
+    return observe(engine_.decide(p), when);
+  }
+
+  /// Fast path: decisions were already computed upstream (one hash per
+  /// packet, shared with the aggregator — see HopMonitor::observe).
+  std::size_t observe(const net::PacketDecisions& d, net::Timestamp when);
 
   /// Drain the samples emitted so far (observation order).  Packets still
   /// in the temp buffer stay buffered — their fate is not yet decided.
@@ -58,6 +66,11 @@ class DelaySampler {
   [[nodiscard]] std::uint64_t markers_seen() const noexcept {
     return markers_;
   }
+  /// Cumulative buffered records evaluated at marker sweeps (the "+1
+  /// memory access per packet at marker time" in the §7.1 cost model).
+  [[nodiscard]] std::uint64_t swept_records() const noexcept {
+    return swept_;
+  }
   [[nodiscard]] std::uint32_t sample_threshold() const noexcept {
     return sample_threshold_;
   }
@@ -74,11 +87,14 @@ class DelaySampler {
   net::DigestEngine engine_;
   std::uint32_t marker_threshold_;
   std::uint32_t sample_threshold_;
+  /// Arena: preallocated at construction, cleared (capacity kept) at each
+  /// marker — steady state never allocates.
   std::vector<Buffered> buffer_;
   std::vector<SampleRecord> emitted_;
   std::size_t buffer_peak_ = 0;
   std::uint64_t observed_ = 0;
   std::uint64_t markers_ = 0;
+  std::uint64_t swept_ = 0;
 };
 
 }  // namespace vpm::core

@@ -15,6 +15,67 @@
 
 namespace vpm::net {
 
+namespace lookup3 {
+
+// The lookup3 mixing primitives, exposed inline for callers that stream
+// already-assembled words straight into the (a,b,c) state instead of going
+// through a byte buffer (the digest hot path does this to avoid the
+// store-then-reload of a stack buffer).  Streaming words this way is
+// output-identical to bob_hash() over the equivalent little-endian bytes.
+
+constexpr std::uint32_t rot(std::uint32_t x, unsigned k) noexcept {
+  return (x << k) | (x >> (32u - k));
+}
+
+/// lookup3 mix(): reversible mixing of three 32-bit states.
+constexpr void mix(std::uint32_t& a, std::uint32_t& b,
+                   std::uint32_t& c) noexcept {
+  a -= c;
+  a ^= rot(c, 4);
+  c += b;
+  b -= a;
+  b ^= rot(a, 6);
+  a += c;
+  c -= b;
+  c ^= rot(b, 8);
+  b += a;
+  a -= c;
+  a ^= rot(c, 16);
+  c += b;
+  b -= a;
+  b ^= rot(a, 19);
+  a += c;
+  c -= b;
+  c ^= rot(b, 4);
+  b += a;
+}
+
+/// lookup3 final(): irreversible finalisation of three 32-bit states.
+constexpr void final_mix(std::uint32_t& a, std::uint32_t& b,
+                         std::uint32_t& c) noexcept {
+  c ^= b;
+  c -= rot(b, 14);
+  a ^= c;
+  a -= rot(c, 11);
+  b ^= a;
+  b -= rot(a, 25);
+  c ^= b;
+  c -= rot(b, 16);
+  a ^= c;
+  a -= rot(c, 4);
+  b ^= a;
+  b -= rot(a, 14);
+  c ^= b;
+  c -= rot(b, 24);
+}
+
+/// The hashlittle() initial state for a message of `length` bytes.
+constexpr std::uint32_t init(std::size_t length, std::uint32_t seed) noexcept {
+  return 0xdeadbeefu + static_cast<std::uint32_t>(length) + seed;
+}
+
+}  // namespace lookup3
+
 /// Hash a byte string.  `initval` seeds the hash; different seeds give
 /// independent hash functions over the same input.
 [[nodiscard]] std::uint32_t bob_hash(std::span<const std::byte> key,

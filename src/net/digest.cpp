@@ -1,5 +1,6 @@
 #include "net/digest.hpp"
 
+#include <bit>
 #include <cstddef>
 #include <cstring>
 #include <stdexcept>
@@ -16,12 +17,56 @@ constexpr std::uint32_t kMarkerSeed = 0x4d41524bu;  // "MARK"
 constexpr std::uint32_t kCutSeed = 0x43555421u;     // "CUT!"
 constexpr std::uint32_t kSampleSeed = 0x53414d50u;  // "SAMP"
 
+// Seeded avalanche finalizer: a 32-bit bijection per seed (xor, then
+// multiply by an odd constant, then fold the high bits down), so role
+// values stay uniform whenever the base digest is.  This is how
+// kIndependent derives marker/cut values from the single per-packet hash
+// instead of re-hashing the full header.  One multiply (vs murmur3's
+// two-multiply fmix32) keeps the §7.1 per-packet budget at "one hash plus
+// a few cycles"; the marker/cut decisions only compare against a
+// threshold, for which the multiplicative scramble of the high bits is
+// ample.
+constexpr std::uint32_t role_mix(std::uint32_t x, std::uint32_t seed) noexcept {
+  x = (x ^ seed) * 0x9E3779B1u;  // odd multiplier: bijective mod 2^32
+  x ^= x >> 16;
+  return x;
+}
+
 }  // namespace
 
 std::uint32_t DigestEngine::hash_fields(const Packet& p,
                                         std::uint32_t seed) const noexcept {
   // Serialize the selected fields into a fixed on-stack buffer.  Layout is
   // part of the protocol: every HOP must produce identical bytes.
+  //
+  // The default spec (everything but length) is the hot path: stream its
+  // 23 bytes straight into the lookup3 state as assembled words, skipping
+  // the stack buffer (and its store-to-load-forwarding stalls).  The word
+  // values below are exactly what bob_hash's little-endian loads would
+  // read from the serialized layout — the pinned-digest test guards this.
+  // Little-endian only: the buffer path memcpy's native bytes, so on a
+  // big-endian target the assembled words would disagree with it.
+  if (std::endian::native == std::endian::little && default_spec_) {
+    const PacketHeader& h = p.header;
+    std::uint32_t a = lookup3::init(23, seed);
+    std::uint32_t b = a;
+    std::uint32_t c = a;
+    // Bytes 0..11: src, dst, src_port | dst_port.
+    a += h.src.value();
+    b += h.dst.value();
+    c += static_cast<std::uint32_t>(h.src_port) |
+         (static_cast<std::uint32_t>(h.dst_port) << 16);
+    lookup3::mix(a, b, c);
+    // Tail bytes 12..22: protocol, ip_id, payload_prefix.
+    a += static_cast<std::uint32_t>(h.protocol) |
+         (static_cast<std::uint32_t>(h.ip_id) << 8) |
+         (static_cast<std::uint32_t>(p.payload_prefix & 0xFFu) << 24);
+    b += static_cast<std::uint32_t>((p.payload_prefix >> 8) & 0xFFFFFFFFu);
+    c += static_cast<std::uint32_t>((p.payload_prefix >> 40) & 0xFFFFFFu);
+    lookup3::final_mix(a, b, c);
+    return c;
+  }
+
   std::byte buf[32];
   std::size_t n = 0;
   auto put32 = [&](std::uint32_t v) {
@@ -61,18 +106,30 @@ std::uint32_t DigestEngine::hash_fields(const Packet& p,
   return bob_hash({buf, n}, seed);
 }
 
+PacketDecisions DigestEngine::decide(const Packet& p) const noexcept {
+  const PacketDigest base = hash_fields(p, kIdSeed);
+  if (mode_ == DigestMode::kSingle) {
+    return PacketDecisions{.id = base, .marker_value = base, .cut_value = base};
+  }
+  return PacketDecisions{.id = base,
+                         .marker_value = role_mix(base, kMarkerSeed),
+                         .cut_value = role_mix(base, kCutSeed)};
+}
+
 PacketDigest DigestEngine::packet_id(const Packet& p) const noexcept {
   return hash_fields(p, kIdSeed);
 }
 
 std::uint32_t DigestEngine::marker_value(const Packet& p) const noexcept {
-  if (mode_ == DigestMode::kSingle) return packet_id(p);
-  return hash_fields(p, kMarkerSeed);
+  const PacketDigest base = hash_fields(p, kIdSeed);
+  if (mode_ == DigestMode::kSingle) return base;
+  return role_mix(base, kMarkerSeed);
 }
 
 std::uint32_t DigestEngine::cut_value(const Packet& p) const noexcept {
-  if (mode_ == DigestMode::kSingle) return packet_id(p);
-  return hash_fields(p, kCutSeed);
+  const PacketDigest base = hash_fields(p, kIdSeed);
+  if (mode_ == DigestMode::kSingle) return base;
+  return role_mix(base, kCutSeed);
 }
 
 std::uint32_t DigestEngine::sample_value(PacketDigest q_id,

@@ -10,12 +10,27 @@
 //   * cut rule    -- Digest(p) > delta starts a new aggregate (Algorithm 2),
 // plus SampleFcn(Digest(q), Digest(marker)) > sigma for sample selection.
 //
-// The paper uses a single digest value for all roles.  We support that
-// (DigestMode::kSingle) and an independent-seeds variant (kIndependent,
-// default) where marker/cut/sample decisions come from independently seeded
-// hashes, so e.g. marker packets are not automatically cut points.  Both
-// preserve the determinism that the subset properties (Sections 5.2, 6.2)
-// rely on; the ablation bench compares them.
+// One hash per packet (§7.1).  The paper's feasibility argument budgets
+// "three memory accesses, ONE hash function, and one timestamp computation
+// per packet", so the data plane computes the Bob hash over the packet
+// bytes exactly once and derives every role value from it:
+//   * DigestMode::kSingle (paper-faithful): the single digest IS the
+//     PktID, marker value and cut value, byte-identical to hashing per
+//     role with the id seed.
+//   * DigestMode::kIndependent (default): the PktID is the single digest;
+//     marker and cut values are obtained by passing it through cheap
+//     seeded avalanche finalizers (distinct 32-bit bijections), so marker
+//     packets are not automatically cut points.  The role values are
+//     deterministic functions of the PktID — every HOP still computes the
+//     same value for the same packet, which is all the subset properties
+//     (Sections 5.2, 6.2) need — at the cost of pairwise information-
+//     theoretic independence, the same trade the paper's single-digest
+//     design makes outright.
+//
+// decide() returns all three values from the one hash pass; the scalar
+// accessors (packet_id / marker_value / cut_value) are views of the same
+// definition for callers that need a single role.  The ablation bench
+// compares the modes.
 #ifndef VPM_NET_DIGEST_HPP
 #define VPM_NET_DIGEST_HPP
 
@@ -60,6 +75,19 @@ enum class DigestMode : std::uint8_t {
 /// A 32-bit packet digest (the paper's 4-byte PktID).
 using PacketDigest = std::uint32_t;
 
+/// Every digest-derived decision value for one packet, computed with a
+/// single hash pass over the packet bytes (the §7.1 "one hash function per
+/// packet" budget).  This is what the data-plane fast path threads through
+/// DelaySampler::observe / Aggregator::observe / HopMonitor::observe.
+struct PacketDecisions {
+  PacketDigest id = 0;            ///< the PktID reported in receipts
+  std::uint32_t marker_value = 0; ///< compared against mu (Alg. 1, line 1)
+  std::uint32_t cut_value = 0;    ///< compared against delta (Alg. 2, line 1)
+
+  friend bool operator==(const PacketDecisions&,
+                         const PacketDecisions&) = default;
+};
+
 /// Computes all digest-derived values for packets.  Every HOP in a
 /// deployment must construct this with identical parameters — it is part of
 /// the protocol definition, not a local tuning knob.
@@ -67,16 +95,24 @@ class DigestEngine {
  public:
   explicit DigestEngine(HeaderSpec spec = HeaderSpec{},
                         DigestMode mode = DigestMode::kIndependent) noexcept
-      : spec_(spec), mode_(mode) {}
+      : spec_(spec), mode_(mode), default_spec_(spec == HeaderSpec{}) {}
 
   [[nodiscard]] const HeaderSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] DigestMode mode() const noexcept { return mode_; }
 
+  /// All role values from one hash pass — the data-plane entry point.
+  /// In kSingle mode id == marker_value == cut_value; in kIndependent mode
+  /// marker/cut are seeded avalanche mixes of the id (see header comment).
+  [[nodiscard]] PacketDecisions decide(const Packet& p) const noexcept;
+
   /// The PktID reported in receipts.
   [[nodiscard]] PacketDigest packet_id(const Packet& p) const noexcept;
   /// Value compared against the marker threshold mu (Algorithm 1, line 1).
+  /// Equals decide(p).marker_value; costs a full hash pass — prefer
+  /// decide() when more than one role value is needed.
   [[nodiscard]] std::uint32_t marker_value(const Packet& p) const noexcept;
   /// Value compared against the partition threshold delta (Alg. 2, line 1).
+  /// Equals decide(p).cut_value.
   [[nodiscard]] std::uint32_t cut_value(const Packet& p) const noexcept;
 
   /// SampleFcn(Digest(q), Digest(marker)) from Algorithm 1, line 3.  Static:
@@ -90,6 +126,9 @@ class DigestEngine {
 
   HeaderSpec spec_;
   DigestMode mode_;
+  /// Cached `spec_ == HeaderSpec{}` so the per-packet hash dispatch is one
+  /// predictable branch, not a six-member struct compare.
+  bool default_spec_;
 };
 
 /// Convert a target rate in [0,1] to a `value > threshold` cutoff over the

@@ -188,15 +188,24 @@ TEST(SketchAggregator, CountLyingCannotHideFromSketch) {
   // count claim while packets differ.  The count check alone passes; the
   // sketch check does not.
   const auto trace = make_trace(11);
+  const net::DigestEngine engine;
+  const std::uint32_t threshold = core::cut_threshold_for(1e-3);
   std::vector<net::Packet> substituted = trace;
   for (std::size_t i = 0; i < 200; ++i) {
     // +1 skips index 0: modifying an aggregate's opening packet changes
     // its AggId and the receipts pair differently (the join handles that
-    // case; this test isolates the pure content-swap one).
-    substituted[1 + i * 3].payload_prefix = i;
+    // case; this test isolates the pure content-swap one).  The swapped
+    // payload must also not flip the packet's cutting-point status, or the
+    // two HOPs partition differently and counts diverge for that honest
+    // reason instead — pick the first candidate payload that keeps the
+    // packet on the same side of the cut threshold.
+    net::Packet& victim = substituted[1 + i * 3];
+    const bool was_cut = engine.cut_value(victim) > threshold;
+    for (std::uint64_t candidate = i;; candidate += 1000) {
+      victim.payload_prefix = candidate;
+      if ((engine.cut_value(victim) > threshold) == was_cut) break;
+    }
   }
-  const net::DigestEngine engine;
-  const std::uint32_t threshold = core::cut_threshold_for(1e-3);
   const auto up = run_sketches(trace, engine, threshold);
   const auto down = run_sketches(substituted, engine, threshold);
   for (std::size_t i = 0; i < up.size() && i < down.size(); ++i) {
