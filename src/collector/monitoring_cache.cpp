@@ -23,6 +23,7 @@ PathClassifier::PathClassifier(std::span<const net::PrefixPair> paths) {
   const std::size_t slots = std::bit_ceil(paths.size() * 2);
   slots_.resize(slots);
   mask_ = slots - 1;
+  shift_ = static_cast<std::uint32_t>(64 - std::bit_width(mask_));
 
   for (std::size_t i = 0; i < paths.size(); ++i) {
     if (paths[i].source.length() != src_len ||
@@ -85,6 +86,10 @@ std::size_t MonitoringCache::observe(const net::Packet& p,
 
 void MonitoringCache::observe_batch_impl(std::span<const net::Packet> packets,
                                          std::span<const net::Timestamp> when) {
+  // Explicit empty-batch no-op: a drained ingest queue or an all-unknown
+  // slice routinely produces empty batches, and they must not perturb
+  // counters or touch monitor storage.
+  if (packets.empty()) return;
   // Tight loop: counters stay in registers and flush once at the end.
   const bool use_origin_time = when.empty();
   std::uint64_t unknown = 0;
@@ -129,6 +134,18 @@ core::SampleReceipt MonitoringCache::collect_samples(std::size_t path) {
 std::vector<core::AggregateReceipt> MonitoringCache::collect_aggregates(
     std::size_t path, bool flush_open) {
   return monitors_.at(path)->collect_aggregates(flush_open);
+}
+
+core::PathDrain MonitoringCache::drain_path(std::size_t path,
+                                            bool flush_open) {
+  return monitors_.at(path)->drain(flush_open);
+}
+
+std::vector<core::PathDrain> MonitoringCache::drain_all(bool flush_open) {
+  std::vector<core::PathDrain> out;
+  out.reserve(monitors_.size());
+  for (auto& m : monitors_) out.push_back(m->drain(flush_open));
+  return out;
 }
 
 std::size_t MonitoringCache::modeled_cache_bytes() const noexcept {

@@ -50,12 +50,33 @@ class PathClassifier {
   /// would otherwise silently shadow one path's state).
   explicit PathClassifier(std::span<const net::PrefixPair> paths);
 
+  /// The 64-bit path key of a packet: masked source address in the high
+  /// word, masked destination in the low word.  This is the identity the
+  /// table stores and the identity a sharded collector routes by — both
+  /// must agree, so the ONE packing definition lives here (the sharded
+  /// collector calls the static overload with its own masks).
+  [[nodiscard]] static std::uint64_t key_of(const net::PacketHeader& h,
+                                            std::uint32_t src_mask,
+                                            std::uint32_t dst_mask)
+      noexcept {
+    return (static_cast<std::uint64_t>(h.src.value() & src_mask) << 32) |
+           (h.dst.value() & dst_mask);
+  }
+  [[nodiscard]] std::uint64_t key_of(const net::PacketHeader& h) const
+      noexcept {
+    return key_of(h, src_mask_, dst_mask_);
+  }
+  /// The same key computed from a path's prefix pair.
+  [[nodiscard]] static std::uint64_t key_of(const net::PrefixPair& p)
+      noexcept {
+    return (static_cast<std::uint64_t>(p.source.network().value()) << 32) |
+           p.destination.network().value();
+  }
+
   /// Path index for this packet, or npos if it matches no known path.
   [[nodiscard]] std::size_t classify(const net::PacketHeader& h) const
       noexcept {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(h.src.value() & src_mask_) << 32) |
-        (h.dst.value() & dst_mask_);
+    const std::uint64_t key = key_of(h);
     std::size_t i = slot_of(key);
     while (slots_[i].index != kEmpty) {
       if (slots_[i].key == key) return slots_[i].index;
@@ -80,14 +101,18 @@ class PathClassifier {
 
   [[nodiscard]] std::size_t slot_of(std::uint64_t key) const noexcept {
     // Fibonacci hashing: the golden-ratio multiply diffuses the masked
-    // address bits; the top 32 bits index the power-of-two table.
-    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
-           mask_;
+    // address bits; the TOP table_bits of the product index the
+    // power-of-two table.  (Top bits, not middle: product bit j only
+    // depends on key bits <= j, so an index drawn from bits 32..47 is
+    // blind to the high src-prefix bits and paths like 10.x/16 -> same
+    // dst would all share one probe chain.)
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_);
   }
 
   std::uint32_t src_mask_ = 0;
   std::uint32_t dst_mask_ = 0;
-  std::size_t mask_ = 0;  ///< slots_.size() - 1
+  std::size_t mask_ = 0;   ///< slots_.size() - 1
+  std::uint32_t shift_ = 63;  ///< 64 - log2(slots_.size())
   std::size_t paths_ = 0;
   std::vector<Slot> slots_;
 };
@@ -102,6 +127,16 @@ struct DataPlaneOps {
   /// Temp-buffer records evaluated at marker sweeps (the deferred
   /// per-packet access the paper folds into "one more memory access").
   std::uint64_t marker_sweep_accesses = 0;
+
+  /// Counters are plain per-packet sums, so per-shard instances merge by
+  /// addition (the sharded collector reports one fused DataPlaneOps).
+  DataPlaneOps& operator+=(const DataPlaneOps& o) noexcept {
+    memory_accesses += o.memory_accesses;
+    hash_computations += o.hash_computations;
+    timestamp_reads += o.timestamp_reads;
+    marker_sweep_accesses += o.marker_sweep_accesses;
+    return *this;
+  }
 };
 
 /// One HOP's full collector: classifier + per-path monitors + accounting.
@@ -138,6 +173,13 @@ class MonitoringCache {
   [[nodiscard]] core::SampleReceipt collect_samples(std::size_t path);
   [[nodiscard]] std::vector<core::AggregateReceipt> collect_aggregates(
       std::size_t path, bool flush_open = false);
+  /// Drain one path's samples + aggregates as a unit.
+  [[nodiscard]] core::PathDrain drain_path(std::size_t path,
+                                           bool flush_open = false);
+  /// Drain every path in index order (the canonical global receipt-stream
+  /// order the sharded collector's merge step reproduces).
+  [[nodiscard]] std::vector<core::PathDrain> drain_all(
+      bool flush_open = false);
 
   [[nodiscard]] std::size_t path_count() const noexcept {
     return monitors_.size();
@@ -157,6 +199,9 @@ class MonitoringCache {
 
   [[nodiscard]] const core::HopMonitor& monitor(std::size_t path) const {
     return *monitors_.at(path);
+  }
+  [[nodiscard]] const PathClassifier& classifier() const noexcept {
+    return classifier_;
   }
 
  private:

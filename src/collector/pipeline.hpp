@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "collector/monitoring_cache.hpp"
+#include "collector/sharded_collector.hpp"
 #include "net/lpm.hpp"
 #include "net/packet.hpp"
 #include "net/prefix.hpp"
@@ -92,6 +93,30 @@ class VpmElement final : public Element {
 
  private:
   MonitoringCache cache_;
+};
+
+/// The sharded VPM collector as a pipeline element (synchronous mode: the
+/// forwarding thread routes each packet to its shard's cache inline, so a
+/// one-box pipeline still works; a multi-core deployment drives the
+/// collector's threaded ingest via collector().start()/feed() instead of
+/// pushing packets through Element::process).
+class ShardedVpmElement final : public Element {
+ public:
+  ShardedVpmElement(ShardedCollector::Config cfg,
+                    std::span<const net::PrefixPair> paths)
+      : collector_(cfg, paths) {}
+
+  bool process(const net::Packet& p, net::Timestamp when) override {
+    collector_.observe(p, when);
+    return true;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "ShardedVpmCollector";
+  }
+  [[nodiscard]] ShardedCollector& collector() noexcept { return collector_; }
+
+ private:
+  ShardedCollector collector_;
 };
 
 /// A chain of elements plus counters.

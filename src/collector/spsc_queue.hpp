@@ -1,0 +1,93 @@
+// A bounded single-producer/single-consumer ring queue.
+//
+// The sharded collector's ingest stage hands routed packet batches to
+// shard workers through these: one queue per (producer, shard) pair keeps
+// every queue strictly SPSC, so the only synchronisation on the hot path
+// is one release store per push and one acquire load per pop (plus the
+// cached-index trick to avoid re-reading the far side's counter on every
+// call).  Closing is a producer-side flag: consumers treat "closed and
+// empty" as end-of-stream, and because close() happens after the last
+// push, a consumer that observes closed==true before a failed pop can
+// never miss an item.
+#ifndef VPM_COLLECTOR_SPSC_QUEUE_HPP
+#define VPM_COLLECTOR_SPSC_QUEUE_HPP
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace vpm::collector {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity)
+      : ring_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+        mask_(ring_.size() - 1) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer only.  Returns false if the ring is full.
+  [[nodiscard]] bool try_push(T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ == ring_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ == ring_.size()) return false;
+    }
+    ring_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer only.  Spins (with yields) until space frees up.
+  void push(T v) {
+    while (!try_push(v)) std::this_thread::yield();
+  }
+
+  /// Consumer only.  Returns false if the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(ring_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Marks end-of-stream.  Callable by the producer after its final push,
+  /// or by any thread whose call happens-after that final push (e.g. a
+  /// controller that joined the producer thread) — the release store then
+  /// carries the producer's writes to the consumer transitively.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  /// Consumer: has the producer closed the stream?  Check BEFORE a failed
+  /// try_pop to conclude end-of-stream (close() follows the last push, so
+  /// closed-then-empty is final).
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+
+ private:
+  std::vector<T> ring_;
+  std::size_t mask_;
+  // Producer and consumer counters on separate cache lines; each side
+  // keeps a stale copy of the other's counter to avoid ping-ponging it.
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer-owned
+  std::size_t head_cache_ = 0;                    ///< producer-owned
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer-owned
+  std::size_t tail_cache_ = 0;                    ///< consumer-owned
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace vpm::collector
+
+#endif  // VPM_COLLECTOR_SPSC_QUEUE_HPP

@@ -79,6 +79,14 @@ class HopMonitor {
     return stamp(aggregator_.take_closed());
   }
 
+  /// Control-plane drain hook: samples plus closed aggregates in one unit
+  /// (what the processor module ships per reporting period; the sharded
+  /// collector's merge step consumes these).
+  [[nodiscard]] PathDrain drain(bool flush_open = false) {
+    return PathDrain{.samples = collect_samples(),
+                     .aggregates = collect_aggregates(flush_open)};
+  }
+
   [[nodiscard]] const net::PathId& path() const noexcept { return path_; }
   [[nodiscard]] const net::DigestEngine& engine() const noexcept {
     return engine_;

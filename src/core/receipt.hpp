@@ -91,6 +91,17 @@ struct AggregateReceipt {
                          const AggregateReceipt&) = default;
 };
 
+/// Everything one path's monitor discloses in one control-plane drain: the
+/// sample receipt plus the closed aggregates.  This is the unit the
+/// processor module ships per reporting period, and the unit the sharded
+/// collector's merge step reorders into a global stream.
+struct PathDrain {
+  SampleReceipt samples;
+  std::vector<AggregateReceipt> aggregates;
+
+  friend bool operator==(const PathDrain&, const PathDrain&) = default;
+};
+
 // --- Receipt combination (Section 4, "Receipt Combination") -------------
 
 /// Combine sample receipts from one HOP: union of the sample sets, merged

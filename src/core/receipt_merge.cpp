@@ -1,0 +1,106 @@
+#include "core/receipt_merge.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace vpm::core {
+
+std::vector<IndexedPathDrain> merge_path_drains(
+    std::vector<std::vector<IndexedPathDrain>> shards) {
+  std::size_t total = 0;
+  for (const auto& s : shards) {
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (s[i - 1].path >= s[i].path) {
+        throw std::invalid_argument(
+            "merge_path_drains: shard stream not ascending by path index");
+      }
+    }
+    total += s.size();
+  }
+
+  std::vector<IndexedPathDrain> out;
+  out.reserve(total);
+  std::vector<std::size_t> cursor(shards.size(), 0);
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  while (out.size() < total) {
+    std::size_t best = kNone;
+    std::size_t best_path = kNone;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      if (cursor[s] == shards[s].size()) continue;
+      const std::size_t p = shards[s][cursor[s]].path;
+      if (best == kNone || p < best_path) {
+        best = s;
+        best_path = p;
+      } else if (p == best_path) {
+        throw std::invalid_argument(
+            "merge_path_drains: path index claimed by two shards");
+      }
+    }
+    out.push_back(std::move(shards[best][cursor[best]]));
+    ++cursor[best];
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared stable k-way merge: `key(record)` must be non-decreasing within
+/// each stream; ties resolve to the lower stream index.
+template <typename T, typename Key>
+std::vector<T> merge_streams(std::span<const std::vector<T>> streams,
+                             Key key, const char* what) {
+  std::size_t total = 0;
+  for (const auto& s : streams) {
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (key(s[i]) < key(s[i - 1])) {
+        throw std::invalid_argument(std::string(what) +
+                                    ": input stream not time-ordered");
+      }
+    }
+    total += s.size();
+  }
+
+  std::vector<T> out;
+  out.reserve(total);
+  std::vector<std::size_t> cursor(streams.size(), 0);
+  while (out.size() < total) {
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (cursor[s] == streams[s].size()) continue;
+      if (best == std::numeric_limits<std::size_t>::max() ||
+          key(streams[s][cursor[s]]) < key(streams[best][cursor[best]])) {
+        best = s;
+      }
+    }
+    out.push_back(streams[best][cursor[best]]);
+    ++cursor[best];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<AggregateReceipt> merge_aggregate_streams(
+    std::span<const std::vector<AggregateReceipt>> streams) {
+  return merge_streams(
+      streams, [](const AggregateReceipt& r) { return r.opened_at; },
+      "merge_aggregate_streams");
+}
+
+std::vector<SampleRecord> merge_sample_records(
+    std::span<const std::vector<SampleRecord>> streams) {
+  return merge_streams(
+      streams, [](const SampleRecord& r) { return r.time; },
+      "merge_sample_records");
+}
+
+void encode_stream(std::span<const IndexedPathDrain> stream,
+                   net::ByteWriter& out) {
+  for (const IndexedPathDrain& d : stream) {
+    encode(d.drain.samples, out);
+    for (const AggregateReceipt& r : d.drain.aggregates) encode(r, out);
+  }
+}
+
+}  // namespace vpm::core

@@ -1,0 +1,67 @@
+// Control-plane receipt-stream merging.
+//
+// A sharded collector partitions paths across workers, so receipts arrive
+// as per-shard streams.  Downstream consumers (alignment, the verifier,
+// the dissemination encoder) want ONE stream in a deterministic global
+// order, regardless of how many shards produced it.  Two orders matter:
+//
+//   * path order — each path's drain keyed by its global path index.
+//     Merging per-shard drains by index reproduces exactly what a
+//     single-threaded MonitoringCache drain over the same path table
+//     yields; this is the order the sharded-vs-single equivalence suite
+//     compares byte-for-byte.
+//   * time order — receipts from *different* monitors interleaved by
+//     observation time (stable on ties), the order a dissemination batch
+//     would ship them in.  Groundwork for the wire-format ROADMAP item.
+#ifndef VPM_CORE_RECEIPT_MERGE_HPP
+#define VPM_CORE_RECEIPT_MERGE_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/receipt.hpp"
+
+namespace vpm::core {
+
+/// One path's drain tagged with its global path index (the index the
+/// single-threaded collector would use; shard-local indices never leak).
+struct IndexedPathDrain {
+  std::size_t path = 0;
+  PathDrain drain;
+
+  friend bool operator==(const IndexedPathDrain&,
+                         const IndexedPathDrain&) = default;
+};
+
+/// Merge per-shard drain streams into one stream ascending by global path
+/// index.  Each input stream must itself be ascending by path index (a
+/// shard drains its paths in order).  Throws std::invalid_argument if a
+/// stream is out of order or two streams claim the same path index (a
+/// path must live on exactly one shard).
+[[nodiscard]] std::vector<IndexedPathDrain> merge_path_drains(
+    std::vector<std::vector<IndexedPathDrain>> shards);
+
+/// Stable k-way merge of aggregate-receipt streams by opened_at: the
+/// earliest-opened receipt wins; on ties the lower stream index goes
+/// first.  Each input stream must be non-decreasing in opened_at (the
+/// drain order a single monitor produces) — throws std::invalid_argument
+/// otherwise, because a silent misordered merge would corrupt the
+/// dissemination stream.
+[[nodiscard]] std::vector<AggregateReceipt> merge_aggregate_streams(
+    std::span<const std::vector<AggregateReceipt>> streams);
+
+/// Stable k-way merge of sample records by observation time (ties keep
+/// stream order).  Same monotonicity requirement as above.
+[[nodiscard]] std::vector<SampleRecord> merge_sample_records(
+    std::span<const std::vector<SampleRecord>> streams);
+
+/// Wire-encode a merged drain stream: per path, the sample receipt then
+/// each aggregate receipt, in stream order.  Byte-comparing two encodings
+/// is the equivalence suite's identity check.
+void encode_stream(std::span<const IndexedPathDrain> stream,
+                   net::ByteWriter& out);
+
+}  // namespace vpm::core
+
+#endif  // VPM_CORE_RECEIPT_MERGE_HPP

@@ -7,6 +7,7 @@
 #include "collector/monitoring_cache.hpp"
 #include "collector/pipeline.hpp"
 #include "collector/resource_model.hpp"
+#include "collector/sharded_collector.hpp"
 #include "helpers.hpp"
 #include "trace/synthetic_trace.hpp"
 
@@ -211,6 +212,98 @@ TEST(Pipeline, VpmElementFeedsCache) {
 
 TEST(Pipeline, RouteLookupValidation) {
   EXPECT_THROW(RouteLookupElement({}), std::invalid_argument);
+}
+
+// ------------------------------------------------- observe_batch boundaries
+
+TEST(MonitoringCacheBatchBoundary, EmptyBatchIsANoOp) {
+  const std::vector<net::PrefixPair> paths = {trace::default_prefix_pair()};
+  MonitoringCache cache(cache_config(), paths);
+
+  cache.observe_batch(std::span<const net::Packet>{});
+  cache.observe_batch(std::span<const net::Packet>{},
+                      std::span<const net::Timestamp>{});
+  EXPECT_EQ(cache.ops().memory_accesses, 0u);
+  EXPECT_EQ(cache.ops().hash_computations, 0u);
+  EXPECT_EQ(cache.unknown_path_packets(), 0u);
+
+  // Also a no-op mid-stream: counters and receipts unchanged.
+  auto cfg = test::small_trace_config(3);
+  cfg.duration = net::milliseconds(300);
+  const auto trace = trace::generate_trace(cfg);
+  cache.observe_batch(trace);
+  const DataPlaneOps before = cache.ops();
+  cache.observe_batch(std::span<const net::Packet>{});
+  EXPECT_EQ(cache.ops().hash_computations, before.hash_computations);
+  EXPECT_EQ(cache.ops().memory_accesses, before.memory_accesses);
+
+  // An empty sharded batch is equally inert.
+  ShardedCollector::Config scfg;
+  scfg.cache = cache_config();
+  scfg.shard_count = 4;
+  ShardedCollector sharded(scfg, paths);
+  sharded.observe_batch(std::span<const net::Packet>{});
+  EXPECT_EQ(sharded.ops().hash_computations, 0u);
+}
+
+TEST(MonitoringCacheBatchBoundary, SinglePacketBatchesMatchScalar) {
+  const std::vector<net::PrefixPair> paths = {trace::default_prefix_pair()};
+  auto cfg = test::small_trace_config(19);
+  cfg.duration = net::milliseconds(500);
+  const auto trace = trace::generate_trace(cfg);
+
+  MonitoringCache scalar(cache_config(), paths);
+  MonitoringCache batched(cache_config(), paths);
+  for (const net::Packet& p : trace) {
+    scalar.observe(p, p.origin_time);
+    batched.observe_batch(std::span<const net::Packet>{&p, 1});
+  }
+  EXPECT_EQ(scalar.drain_path(0, true), batched.drain_path(0, true));
+  EXPECT_EQ(scalar.ops().hash_computations, batched.ops().hash_computations);
+}
+
+TEST(MonitoringCacheBatchBoundary, BatchSpanningJWindowDrainMatchesScalar) {
+  // Split the trace right after a cutting packet: the closed aggregate's
+  // J-window is still pending when the next batch starts, so the second
+  // batch finalizes a window opened by the first — the cross-batch drain
+  // path that was previously untested.
+  const std::vector<net::PrefixPair> paths = {trace::default_prefix_pair()};
+  const MonitoringCache::Config ccfg = cache_config();
+  auto cfg = test::small_trace_config(37);
+  const auto trace = trace::generate_trace(cfg);
+
+  const net::DigestEngine engine = ccfg.protocol.make_engine();
+  const std::uint32_t delta = core::cut_threshold_for(ccfg.tuning.cut_rate);
+  // Find a cut in the middle third (so both batches are substantial) and
+  // a packet inside its J-window, giving two interesting split points.
+  std::size_t cut = 0;
+  for (std::size_t i = trace.size() / 3; i < 2 * trace.size() / 3; ++i) {
+    if (engine.decide(trace[i]).cut_value > delta) {
+      cut = i;
+      break;
+    }
+  }
+  ASSERT_GT(cut, 0u) << "trace contains no cut in the middle third";
+  std::size_t inside_window = cut + 1;
+  while (inside_window < trace.size() &&
+         trace[inside_window].origin_time - trace[cut].origin_time <
+             ccfg.protocol.reorder_window_j / 2) {
+    ++inside_window;
+  }
+
+  MonitoringCache scalar(ccfg, paths);
+  for (const net::Packet& p : trace) scalar.observe(p, p.origin_time);
+  const core::PathDrain reference = scalar.drain_path(0, true);
+  ASSERT_GT(reference.aggregates.size(), 2u);
+
+  for (const std::size_t split : {cut, cut + 1, inside_window}) {
+    MonitoringCache split_cache(ccfg, paths);
+    const std::span<const net::Packet> all(trace);
+    split_cache.observe_batch(all.first(split));
+    split_cache.observe_batch(all.subspan(split));
+    EXPECT_EQ(split_cache.drain_path(0, true), reference)
+        << "split at " << split;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+// Receipt drain ordering and stream merging (groundwork for the
+// wire-format ROADMAP item: dissemination batches require time-ordered
+// per-path streams, and the batch encoder rejects unordered input).
+//
+// Pinned properties:
+//   * periodic control-plane drains concatenate into exactly the stream a
+//     single end-of-run drain yields (draining early never reorders,
+//     drops, or duplicates receipts);
+//   * drained receipts are monotonically time-ordered per path;
+//   * interleaved drains from two caches merge stably by open time
+//     (ties keep stream order), and the merge rejects unordered input.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "collector/monitoring_cache.hpp"
+#include "core/receipt_merge.hpp"
+#include "helpers.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace vpm::core {
+namespace {
+
+collector::MonitoringCache::Config cache_config() {
+  collector::MonitoringCache::Config cfg;
+  cfg.protocol = test::test_protocol();
+  cfg.tuning = HopTuning{.sample_rate = 0.02, .cut_rate = 1e-3};
+  return cfg;
+}
+
+/// Feed `trace` in `chunks` slices, draining (without flush) after each;
+/// returns the concatenated drains plus a final flushed drain.
+PathDrain periodic_drain(collector::MonitoringCache& cache,
+                         std::span<const net::Packet> trace,
+                         std::size_t chunks) {
+  PathDrain all;
+  const std::size_t step = trace.size() / chunks + 1;
+  for (std::size_t i = 0; i < trace.size(); i += step) {
+    cache.observe_batch(trace.subspan(i, std::min(step, trace.size() - i)));
+    PathDrain d = cache.drain_path(0, /*flush_open=*/false);
+    all.samples.path = d.samples.path;
+    all.samples.sample_threshold = d.samples.sample_threshold;
+    all.samples.marker_threshold = d.samples.marker_threshold;
+    all.samples.samples.insert(all.samples.samples.end(),
+                               d.samples.samples.begin(),
+                               d.samples.samples.end());
+    all.aggregates.insert(all.aggregates.end(), d.aggregates.begin(),
+                          d.aggregates.end());
+  }
+  PathDrain tail = cache.drain_path(0, /*flush_open=*/true);
+  all.samples.samples.insert(all.samples.samples.end(),
+                             tail.samples.samples.begin(),
+                             tail.samples.samples.end());
+  all.aggregates.insert(all.aggregates.end(), tail.aggregates.begin(),
+                        tail.aggregates.end());
+  return all;
+}
+
+void expect_monotone(const PathDrain& d) {
+  for (std::size_t i = 1; i < d.samples.samples.size(); ++i) {
+    EXPECT_GE(d.samples.samples[i].time, d.samples.samples[i - 1].time)
+        << "sample " << i;
+  }
+  for (std::size_t i = 0; i < d.aggregates.size(); ++i) {
+    EXPECT_LE(d.aggregates[i].opened_at, d.aggregates[i].closed_at)
+        << "aggregate " << i;
+    if (i > 0) {
+      EXPECT_GE(d.aggregates[i].opened_at, d.aggregates[i - 1].opened_at);
+      EXPECT_GE(d.aggregates[i].closed_at, d.aggregates[i - 1].closed_at);
+    }
+  }
+}
+
+TEST(ReceiptDrainOrder, PeriodicDrainsConcatenateToTheFullDrain) {
+  const std::vector<net::PrefixPair> paths = {trace::default_prefix_pair()};
+  auto tcfg = test::small_trace_config(13);
+  const auto trace = trace::generate_trace(tcfg);
+
+  collector::MonitoringCache periodic(cache_config(), paths);
+  const PathDrain chunked = periodic_drain(periodic, trace, 9);
+
+  collector::MonitoringCache oneshot(cache_config(), paths);
+  oneshot.observe_batch(trace);
+  const PathDrain full = oneshot.drain_path(0, /*flush_open=*/true);
+
+  ASSERT_FALSE(full.samples.samples.empty());
+  ASSERT_GT(full.aggregates.size(), 5u);
+  EXPECT_EQ(chunked, full);
+}
+
+TEST(ReceiptDrainOrder, DrainedReceiptsAreMonotonePerPath) {
+  const std::vector<net::PrefixPair> paths = {trace::default_prefix_pair()};
+  auto tcfg = test::small_trace_config(29);
+  const auto trace = trace::generate_trace(tcfg);
+  collector::MonitoringCache cache(cache_config(), paths);
+  const PathDrain all = periodic_drain(cache, trace, 7);
+  ASSERT_GT(all.aggregates.size(), 5u);
+  expect_monotone(all);
+}
+
+TEST(ReceiptDrainOrder, InterleavedDrainsFromTwoCachesMergeStably) {
+  // Two caches over different paths, drained at interleaved (co-prime)
+  // periods.  The merged aggregate stream must be time-ordered, contain
+  // every receipt exactly once, and match the merge of the same caches'
+  // one-shot drains (early draining must not perturb the merged stream).
+  auto tcfg_a = test::small_trace_config(5);
+  const auto trace_a = trace::generate_trace(tcfg_a);
+  auto tcfg_b = test::small_trace_config(6);
+  tcfg_b.prefixes = net::PrefixPair{net::Prefix::parse("99.1.0.0/16"),
+                                    net::Prefix::parse("99.2.0.0/16")};
+  const auto trace_b = trace::generate_trace(tcfg_b);
+
+  const std::vector<net::PrefixPair> paths_a = {tcfg_a.prefixes};
+  const std::vector<net::PrefixPair> paths_b = {tcfg_b.prefixes};
+
+  collector::MonitoringCache a(cache_config(), paths_a);
+  collector::MonitoringCache b(cache_config(), paths_b);
+  const PathDrain drain_a = periodic_drain(a, trace_a, 7);
+  const PathDrain drain_b = periodic_drain(b, trace_b, 11);
+
+  const std::vector<std::vector<AggregateReceipt>> streams = {
+      drain_a.aggregates, drain_b.aggregates};
+  const std::vector<AggregateReceipt> merged =
+      merge_aggregate_streams(streams);
+  ASSERT_EQ(merged.size(), drain_a.aggregates.size() +
+                               drain_b.aggregates.size());
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_GE(merged[i].opened_at, merged[i - 1].opened_at);
+  }
+
+  // Same merge from one-shot drains: identical stream.
+  collector::MonitoringCache a2(cache_config(), paths_a);
+  a2.observe_batch(trace_a);
+  collector::MonitoringCache b2(cache_config(), paths_b);
+  b2.observe_batch(trace_b);
+  const std::vector<std::vector<AggregateReceipt>> oneshot = {
+      a2.drain_path(0, true).aggregates, b2.drain_path(0, true).aggregates};
+  EXPECT_EQ(merged, merge_aggregate_streams(oneshot));
+}
+
+// ------------------------------------------------------------ merge rules
+
+AggregateReceipt agg_at(std::int64_t opened_ms, std::uint32_t count) {
+  AggregateReceipt r;
+  r.agg = AggId{.first = count, .last = count + 1};
+  r.packet_count = count;
+  r.opened_at = net::Timestamp{} + net::milliseconds(opened_ms);
+  r.closed_at = r.opened_at + net::milliseconds(1);
+  return r;
+}
+
+TEST(ReceiptMerge, TiesKeepStreamOrder) {
+  const std::vector<std::vector<AggregateReceipt>> streams = {
+      {agg_at(1, 10), agg_at(5, 11)},
+      {agg_at(1, 20), agg_at(5, 21)},
+  };
+  const auto merged = merge_aggregate_streams(streams);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].packet_count, 10u);  // stream 0 wins the tie at t=1
+  EXPECT_EQ(merged[1].packet_count, 20u);
+  EXPECT_EQ(merged[2].packet_count, 11u);  // and the tie at t=5
+  EXPECT_EQ(merged[3].packet_count, 21u);
+}
+
+TEST(ReceiptMerge, RejectsUnorderedInputStreams) {
+  const std::vector<std::vector<AggregateReceipt>> bad = {
+      {agg_at(5, 1), agg_at(1, 2)},
+  };
+  EXPECT_THROW((void)merge_aggregate_streams(bad), std::invalid_argument);
+
+  const std::vector<std::vector<SampleRecord>> bad_samples = {
+      {SampleRecord{.pkt_id = 1,
+                    .time = net::Timestamp{} + net::milliseconds(9)},
+       SampleRecord{.pkt_id = 2, .time = net::Timestamp{}}},
+  };
+  EXPECT_THROW((void)merge_sample_records(bad_samples),
+               std::invalid_argument);
+}
+
+TEST(ReceiptMerge, SampleRecordsMergeByTime) {
+  const std::vector<std::vector<SampleRecord>> streams = {
+      {SampleRecord{.pkt_id = 1, .time = net::Timestamp{1000}},
+       SampleRecord{.pkt_id = 3, .time = net::Timestamp{3000}}},
+      {SampleRecord{.pkt_id = 2, .time = net::Timestamp{2000}}},
+  };
+  const auto merged = merge_sample_records(streams);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].pkt_id, 1u);
+  EXPECT_EQ(merged[1].pkt_id, 2u);
+  EXPECT_EQ(merged[2].pkt_id, 3u);
+}
+
+TEST(ReceiptMerge, PathDrainMergeRejectsDuplicatesAndDisorder) {
+  auto drain_for = [](std::size_t path) {
+    return IndexedPathDrain{.path = path, .drain = {}};
+  };
+  // Duplicate path index across shards.
+  std::vector<std::vector<IndexedPathDrain>> dup;
+  dup.push_back({drain_for(0), drain_for(2)});
+  dup.push_back({drain_for(2)});
+  EXPECT_THROW((void)merge_path_drains(std::move(dup)),
+               std::invalid_argument);
+  // Out-of-order shard stream.
+  std::vector<std::vector<IndexedPathDrain>> unordered;
+  unordered.push_back({drain_for(3), drain_for(1)});
+  EXPECT_THROW((void)merge_path_drains(std::move(unordered)),
+               std::invalid_argument);
+  // Well-formed: global ascending order restored from shard streams.
+  std::vector<std::vector<IndexedPathDrain>> ok;
+  ok.push_back({drain_for(1), drain_for(4)});
+  ok.push_back({drain_for(0), drain_for(2), drain_for(3)});
+  const auto merged = merge_path_drains(std::move(ok));
+  ASSERT_EQ(merged.size(), 5u);
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].path, i);
+  }
+}
+
+}  // namespace
+}  // namespace vpm::core

@@ -1,0 +1,189 @@
+// Sharded-vs-single-threaded equivalence: the tentpole proof obligation.
+//
+// Sharding is a pure scaling transform — it must not change a single
+// receipt byte.  Bias resistance (§5.1) and the subset properties (§5.2,
+// §6.2) are statements about WHICH packets get sampled/cut and what the
+// receipts disclose, so the identity we pin is: the sharded collector's
+// merged drain, wire-encoded, equals the single-threaded MonitoringCache's
+// drain over the same trace, byte for byte.
+//
+// Coverage axes (the acceptance grid): ≥10 seeds, each with a different
+// topology (path count 1..256, varying popularity skew), shard counts
+// {1, 2, 4, 8}, BOTH digest modes, randomized observe_batch() slice
+// boundaries on the sharded side, and both ingest modes (synchronous and
+// SPSC-queue threaded with 1..3 producers).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "collector/monitoring_cache.hpp"
+#include "collector/pipeline.hpp"
+#include "collector/sharded_collector.hpp"
+#include "sim/shard_scenario.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace vpm::sim {
+namespace {
+
+/// Seed -> workload topology: vary path count across orders of magnitude
+/// (1 path exercises 7 empty shards at shard_count 8) and the Zipf skew
+/// (hot-path imbalance across shards).
+ShardScenarioConfig topology_for(std::uint64_t seed) {
+  static constexpr std::size_t kPathCounts[] = {1,  2,  3,  5,   8,
+                                                16, 48, 97, 150, 256};
+  static constexpr double kZipf[] = {0.5, 0.8, 1.0, 1.1, 1.3,
+                                     1.4, 0.9, 1.2, 0.7, 1.0};
+  ShardScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.path_count = kPathCounts[(seed - 1) % 10];
+  cfg.zipf_s = kZipf[(seed - 1) % 10];
+  return cfg;
+}
+
+class ShardedEquivalence : public ::testing::TestWithParam<net::DigestMode> {};
+
+TEST_P(ShardedEquivalence, MergedStreamByteIdenticalAcrossSeedsAndShards) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      ShardScenarioConfig cfg = topology_for(seed);
+      cfg.digest_mode = GetParam();
+      cfg.shard_count = shards;
+      const ShardScenarioResult r = run_shard_scenario(cfg);
+
+      ASSERT_GT(r.total_packets, 10'000u) << "degenerate trace";
+      ASSERT_FALSE(r.single_bytes.empty());
+      EXPECT_TRUE(r.byte_identical)
+          << "seed " << seed << ", " << shards << " shards";
+      // The cost model must shard losslessly too: same packets, same
+      // hashes, same marker sweeps — just spread over workers.
+      EXPECT_EQ(r.single_ops.memory_accesses, r.sharded_ops.memory_accesses);
+      EXPECT_EQ(r.single_ops.hash_computations,
+                r.sharded_ops.hash_computations);
+      EXPECT_EQ(r.single_ops.marker_sweep_accesses,
+                r.sharded_ops.marker_sweep_accesses);
+      EXPECT_EQ(r.single_unknown, r.sharded_unknown);
+    }
+  }
+}
+
+TEST_P(ShardedEquivalence, ThreadedIngestMatchesReference) {
+  for (const auto& [producers, shards] :
+       {std::pair<std::size_t, std::size_t>{1, 4},
+        std::pair<std::size_t, std::size_t>{2, 2},
+        std::pair<std::size_t, std::size_t>{3, 8}}) {
+    ShardScenarioConfig cfg = topology_for(7);
+    cfg.digest_mode = GetParam();
+    cfg.shard_count = shards;
+    cfg.producer_count = producers;
+    const ShardScenarioResult r = run_shard_scenario(cfg);
+    EXPECT_TRUE(r.byte_identical)
+        << producers << " producers, " << shards << " shards";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ShardedEquivalence,
+                         ::testing::Values(net::DigestMode::kSingle,
+                                           net::DigestMode::kIndependent));
+
+// ------------------------------------------------------------------------
+// API-surface checks that the scenario driver does not exercise.
+
+collector::ShardedCollector::Config sharded_config(std::size_t shards) {
+  collector::ShardedCollector::Config cfg;
+  cfg.cache.protocol.marker_rate = 1.0 / 500.0;
+  cfg.cache.tuning = core::HopTuning{.sample_rate = 0.01, .cut_rate = 1e-3};
+  cfg.shard_count = shards;
+  return cfg;
+}
+
+TEST(ShardedCollector, SingleObserveReportsGlobalPathIndices) {
+  trace::MultiPathConfig mcfg;
+  mcfg.path_count = 37;
+  mcfg.total_packets_per_second = 40'000;
+  mcfg.duration = net::milliseconds(100);
+  mcfg.seed = 4;
+  const auto multi = trace::generate_multi_path(mcfg);
+
+  collector::ShardedCollector sharded(sharded_config(4), multi.paths);
+  for (std::size_t i = 0; i < multi.packets.size(); ++i) {
+    ASSERT_EQ(sharded.observe(multi.packets[i], multi.packets[i].origin_time),
+              multi.path_of[i]);
+  }
+  EXPECT_EQ(sharded.unknown_path_packets(), 0u);
+
+  net::Packet alien;
+  alien.header.src = net::Ipv4Address(1, 2, 3, 4);
+  alien.header.dst = net::Ipv4Address(9, 9, 9, 9);
+  EXPECT_EQ(sharded.observe(alien, net::Timestamp{}),
+            collector::PathClassifier::npos);
+  EXPECT_EQ(sharded.unknown_path_packets(), 1u);
+}
+
+TEST(ShardedCollector, Validation) {
+  const std::vector<net::PrefixPair> one = {trace::default_prefix_pair()};
+  EXPECT_THROW(
+      collector::ShardedCollector(sharded_config(0), one),
+      std::invalid_argument);
+  EXPECT_THROW(collector::ShardedCollector(sharded_config(2),
+                                           std::vector<net::PrefixPair>{}),
+               std::invalid_argument);
+  const std::vector<net::PrefixPair> mixed = {
+      trace::default_prefix_pair(),
+      net::PrefixPair{net::Prefix::parse("10.9.0.0/24"),
+                      net::Prefix::parse("100.9.0.0/24")},
+  };
+  EXPECT_THROW(collector::ShardedCollector(sharded_config(2), mixed),
+               std::invalid_argument);
+  const std::vector<net::PrefixPair> dup = {trace::default_prefix_pair(),
+                                            trace::default_prefix_pair()};
+  EXPECT_THROW(collector::ShardedCollector(sharded_config(2), dup),
+               std::invalid_argument);
+}
+
+TEST(ShardedCollector, ControlPlaneGuardsWhileRunning) {
+  const std::vector<net::PrefixPair> one = {trace::default_prefix_pair()};
+  collector::ShardedCollector sharded(sharded_config(2), one);
+  EXPECT_THROW(sharded.feed(0, {}), std::logic_error);  // not started
+
+  sharded.start(1);
+  EXPECT_TRUE(sharded.running());
+  net::Packet p;
+  EXPECT_THROW(sharded.observe(p, net::Timestamp{}), std::logic_error);
+  EXPECT_THROW(sharded.observe_batch({}), std::logic_error);
+  EXPECT_THROW((void)sharded.drain(), std::logic_error);
+  EXPECT_THROW(sharded.start(1), std::logic_error);
+  sharded.stop();
+  sharded.stop();  // idempotent
+  EXPECT_FALSE(sharded.running());
+  (void)sharded.drain(true);
+}
+
+TEST(ShardedCollector, PipelineElementFeedsShards) {
+  trace::MultiPathConfig mcfg;
+  mcfg.path_count = 16;
+  mcfg.total_packets_per_second = 40'000;
+  mcfg.duration = net::milliseconds(200);
+  mcfg.seed = 11;
+  const auto multi = trace::generate_multi_path(mcfg);
+
+  auto element =
+      std::make_unique<collector::ShardedVpmElement>(sharded_config(4),
+                                                     multi.paths);
+  collector::ShardedVpmElement* raw = element.get();
+  collector::Pipeline pipe;
+  pipe.append(std::move(element));
+  for (const net::Packet& p : multi.packets) pipe.process(p, p.origin_time);
+  EXPECT_EQ(pipe.forwarded(), multi.packets.size());
+
+  std::uint64_t counted = 0;
+  for (const core::IndexedPathDrain& d : raw->collector().drain(true)) {
+    for (const core::AggregateReceipt& r : d.drain.aggregates) {
+      counted += r.packet_count;
+    }
+  }
+  EXPECT_EQ(counted, multi.packets.size());
+}
+
+}  // namespace
+}  // namespace vpm::sim
