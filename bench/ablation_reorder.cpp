@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baseline/diff_aggregator.hpp"
+#include "core/aggregator.hpp"
 #include "core/alignment.hpp"
 #include "core/verifier.hpp"
 #include "experiment.hpp"

@@ -4,6 +4,7 @@
 // packet ... within the capabilities of modern hardware").
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <vector>
 
 #include "collector/monitoring_cache.hpp"
@@ -177,6 +178,109 @@ void BM_CacheObserveBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(multi.packets.size()));
 }
 BENCHMARK(BM_CacheObserveBatch)->Arg(1)->Arg(100)->Arg(10000);
+
+// Path-count sweep over a uniformly random path mix: the cache-resident
+// (1k paths) vs pointer-chase (100k paths) regime of the §7.1 monitoring
+// cache.  The workload is synthesized directly (same /24 path enumeration
+// as trace::generate_multi_path, splitmix64-mixed headers) so that the
+// 100k-path case costs milliseconds to set up, not minutes.  Reports
+// ns/packet (items processed) and the modeled hot-state bytes per path.
+struct SweepWorkload {
+  std::vector<net::PrefixPair> paths;
+  std::vector<net::Packet> packets;
+  std::vector<net::Timestamp> when;
+};
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+const SweepWorkload& sweep_workload(std::size_t paths_n) {
+  static std::map<std::size_t, SweepWorkload> cache;
+  auto it = cache.find(paths_n);
+  if (it != cache.end()) return it->second;
+
+  SweepWorkload w;
+  w.paths.reserve(paths_n);
+  for (std::size_t k = 0; k < paths_n; ++k) {
+    const auto a = static_cast<std::uint8_t>((k >> 8) & 0xFF);
+    const auto b = static_cast<std::uint8_t>(k & 0xFF);
+    const auto c = static_cast<std::uint8_t>(100 + ((k >> 16) & 0x3F));
+    w.paths.push_back(net::PrefixPair{
+        .source = net::Prefix{net::Ipv4Address{10, a, b, 0}, 24},
+        .destination = net::Prefix{net::Ipv4Address{c, a, b, 0}, 24},
+    });
+  }
+
+  constexpr std::size_t kPackets = 1u << 20;
+  w.packets.reserve(kPackets);
+  w.when.reserve(kPackets);
+  std::uint64_t rng = 0x5EEDBA5Eull + paths_n;
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    const std::size_t k = splitmix64(rng) % paths_n;  // uniform path mix
+    const std::uint64_t r = splitmix64(rng);
+    const auto a = static_cast<std::uint8_t>((k >> 8) & 0xFF);
+    const auto b = static_cast<std::uint8_t>(k & 0xFF);
+    const auto c = static_cast<std::uint8_t>(100 + ((k >> 16) & 0x3F));
+    net::Packet p;
+    p.header.src = net::Ipv4Address{10, a, b, static_cast<std::uint8_t>(r)};
+    p.header.dst =
+        net::Ipv4Address{c, a, b, static_cast<std::uint8_t>(r >> 8)};
+    p.header.src_port = static_cast<std::uint16_t>(r >> 16);
+    p.header.dst_port = static_cast<std::uint16_t>(r >> 32);
+    p.header.ip_id = static_cast<std::uint16_t>(r >> 48);
+    p.header.total_length = 400;
+    p.payload_prefix = splitmix64(rng);
+    p.sequence = i;
+    // 1 us inter-arrival: ~1 Mpps aggregate, ~1 s span per replay.
+    p.origin_time = net::Timestamp{} + net::microseconds(
+                                           static_cast<std::int64_t>(i));
+    w.packets.push_back(p);
+    w.when.push_back(p.origin_time);
+  }
+  return cache.emplace(paths_n, std::move(w)).first->second;
+}
+
+void BM_CacheObservePathSweep(benchmark::State& state) {
+  const auto paths_n = static_cast<std::size_t>(state.range(0));
+  const SweepWorkload& w = sweep_workload(paths_n);
+
+  collector::MonitoringCache::Config ccfg;
+  ccfg.protocol = protocol();
+  ccfg.tuning = core::HopTuning{.sample_rate = 0.01, .cut_rate = 1e-5};
+  collector::MonitoringCache cache(ccfg, w.paths);
+
+  // Shift the replayed timestamps each iteration to keep local time
+  // monotone (see BM_AggregatorObserve).
+  std::vector<net::Timestamp> when = w.when;
+  net::Duration offset{0};
+  for (auto _ : state) {
+    cache.observe_batch(w.packets, when);
+
+    state.PauseTiming();
+    offset += net::seconds(2);
+    for (std::size_t k = 0; k < when.size(); ++k) {
+      when[k] = w.packets[k].origin_time + offset;
+    }
+    for (std::size_t p = 0; p < w.paths.size(); ++p) {
+      (void)cache.collect_samples(p);
+      (void)cache.collect_aggregates(p);
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.packets.size()));
+  state.counters["B/path"] = static_cast<double>(cache.modeled_cache_bytes()) /
+                             static_cast<double>(paths_n);
+}
+BENCHMARK(BM_CacheObservePathSweep)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
 
 // The per-packet classify step in isolation (flat table vs the former
 // std::unordered_map lookup).

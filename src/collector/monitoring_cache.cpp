@@ -45,22 +45,36 @@ PathClassifier::PathClassifier(std::span<const net::PrefixPair> paths) {
   }
 }
 
+namespace {
+
+core::PathParams params_for(const MonitoringCache::Config& cfg) {
+  // sample_threshold_for validates the tuning (throws on infeasible
+  // rates), exactly as the per-path monitor constructor used to.
+  return core::PathParams{
+      .marker_threshold = cfg.protocol.marker_threshold(),
+      .sample_threshold =
+          core::sample_threshold_for(cfg.protocol, cfg.tuning.sample_rate),
+      .cut_threshold = core::cut_threshold_for(cfg.tuning.cut_rate),
+      .j_window = cfg.protocol.reorder_window_j,
+  };
+}
+
+}  // namespace
+
 MonitoringCache::MonitoringCache(Config cfg,
                                  std::span<const net::PrefixPair> paths)
-    : classifier_(paths), engine_(cfg.protocol.make_engine()) {
-  monitors_.reserve(paths.size());
+    : classifier_(paths),
+      engine_(cfg.protocol.make_engine()),
+      state_(params_for(cfg), paths.size()) {
+  path_ids_.reserve(paths.size());
   for (const net::PrefixPair& pair : paths) {
-    core::HopMonitorConfig mc;
-    mc.protocol = cfg.protocol;
-    mc.tuning = cfg.tuning;
-    mc.path = net::PathId{
+    path_ids_.push_back(net::PathId{
         .header_spec_id = cfg.protocol.header_spec.id(),
         .prefixes = pair,
         .previous_hop = cfg.previous_hop,
         .next_hop = cfg.next_hop,
         .max_diff = cfg.max_diff,
-    };
-    monitors_.push_back(std::make_unique<core::HopMonitor>(mc));
+    });
   }
 }
 
@@ -73,7 +87,7 @@ std::size_t MonitoringCache::observe(const net::Packet& p,
   }
   // One hash per packet: decide() feeds both sampler and aggregator.
   const net::PacketDecisions d = engine_.decide(p);
-  const std::size_t swept = monitors_[path]->observe(d, when);
+  const std::size_t swept = core::path_observe(state_, path, d, when);
   // §7.1 cost model: look up PathID, update PktCnt, store the
   // digest/timestamp record = 3 accesses; 1 digest; 1 timestamp; plus the
   // deferred sweep accesses when the packet was a marker.
@@ -95,18 +109,73 @@ void MonitoringCache::observe_batch_impl(std::span<const net::Packet> packets,
   std::uint64_t unknown = 0;
   std::uint64_t observed = 0;
   std::uint64_t swept = 0;
-  const std::unique_ptr<core::HopMonitor>* monitors = monitors_.data();
-  for (std::size_t i = 0; i < packets.size(); ++i) {
-    const net::Packet& p = packets[i];
-    const std::size_t path = classifier_.classify(p.header);
-    if (path == PathClassifier::npos) {
-      ++unknown;
-      continue;
+
+  // Below ~4k paths the whole slot array fits in L2 and a straight loop
+  // wins; above it every slot access is a DRAM miss, so the loop runs in
+  // stages over small chunks: classify everything (the probes overlap in
+  // the memory system) while prefetching each path's slot line, then walk
+  // the arriving slots to prefetch the arena lines the kernel will write,
+  // then run the digest + kernel pass against warm lines.
+  constexpr std::size_t kStagedThreshold = 4096;
+  if (state_.path_count() <= kStagedThreshold) {
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      const net::Packet& p = packets[i];
+      const std::size_t path = classifier_.classify(p.header);
+      if (path == PathClassifier::npos) {
+        ++unknown;
+        continue;
+      }
+      const net::PacketDecisions d = engine_.decide(p);
+      swept += core::path_observe(state_, path, d,
+                                  use_origin_time ? p.origin_time : when[i]);
+      ++observed;
     }
-    const net::PacketDecisions d = engine_.decide(p);
-    swept += monitors[path]->observe(
-        d, use_origin_time ? p.origin_time : when[i]);
-    ++observed;
+  } else {
+    constexpr std::size_t kChunk = 64;
+    constexpr std::uint32_t kUnknown = 0xFFFFFFFFu;  // > any classifier index
+    std::uint32_t path_of[kChunk];
+    for (std::size_t base = 0; base < packets.size(); base += kChunk) {
+      const std::size_t n = std::min(kChunk, packets.size() - base);
+      const core::PathSlot* slots = state_.slots.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t path =
+            classifier_.classify(packets[base + i].header);
+        if (path == PathClassifier::npos) {
+          path_of[i] = kUnknown;
+          continue;
+        }
+        path_of[i] = static_cast<std::uint32_t>(path);
+        __builtin_prefetch(&slots[path], /*rw=*/1);
+      }
+      const core::TimedDigest* buf = state_.buf_arena.data();
+      const core::TimedDigest* ring = state_.ring_arena.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (path_of[i] == kUnknown) continue;
+        const core::PathSlot& sl = slots[path_of[i]];
+        if (sl.warm.buf_cap != 0) {
+          __builtin_prefetch(buf + sl.warm.buf_begin + sl.hot.buf_size, 1);
+        }
+        if (sl.warm.ring_cap != 0) {
+          const std::uint32_t mask = sl.warm.ring_cap - 1;
+          __builtin_prefetch(
+              ring + sl.warm.ring_begin +
+                  ((sl.hot.ring_head + sl.hot.ring_size) & mask),
+              1);
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (path_of[i] == kUnknown) {
+          ++unknown;
+          continue;
+        }
+        const net::Packet& p = packets[base + i];
+        const net::PacketDecisions d = engine_.decide(p);
+        swept += core::path_observe(
+            state_, path_of[i], d,
+            use_origin_time ? p.origin_time : when[base + i]);
+        ++observed;
+      }
+    }
   }
   unknown_ += unknown;
   ops_.memory_accesses += observed * 3;
@@ -128,44 +197,40 @@ void MonitoringCache::observe_batch(std::span<const net::Packet> packets) {
 }
 
 core::SampleReceipt MonitoringCache::collect_samples(std::size_t path) {
-  return monitors_.at(path)->collect_samples();
+  return core::path_collect_samples(state_, path, path_ids_.at(path));
 }
 
 std::vector<core::AggregateReceipt> MonitoringCache::collect_aggregates(
     std::size_t path, bool flush_open) {
-  return monitors_.at(path)->collect_aggregates(flush_open);
+  return core::path_collect_aggregates(state_, path, path_ids_.at(path),
+                                       flush_open);
 }
 
 core::PathDrain MonitoringCache::drain_path(std::size_t path,
                                             bool flush_open) {
-  return monitors_.at(path)->drain(flush_open);
+  return core::PathDrain{.samples = collect_samples(path),
+                         .aggregates = collect_aggregates(path, flush_open)};
 }
 
 std::vector<core::PathDrain> MonitoringCache::drain_all(bool flush_open) {
   std::vector<core::PathDrain> out;
-  out.reserve(monitors_.size());
-  for (auto& m : monitors_) out.push_back(m->drain(flush_open));
+  out.reserve(state_.path_count());
+  for (std::size_t p = 0; p < state_.path_count(); ++p) {
+    out.push_back(drain_path(p, flush_open));
+  }
   return out;
 }
 
 std::size_t MonitoringCache::modeled_cache_bytes() const noexcept {
-  return monitors_.size() * kOpenReceiptBytes;
+  return state_.hot_bytes();
 }
 
 std::size_t MonitoringCache::modeled_temp_buffer_bytes() const noexcept {
-  std::size_t records = 0;
-  for (const auto& m : monitors_) {
-    records += m->sampler().buffered();
-  }
-  return records * kTempRecordBytes;
+  return state_.buffered_records() * kTempRecordBytes;
 }
 
 std::size_t MonitoringCache::temp_buffer_peak_records() const noexcept {
-  std::size_t peak = 0;
-  for (const auto& m : monitors_) {
-    peak += m->sampler().buffer_peak();
-  }
-  return peak;
+  return state_.buffer_peak_records();
 }
 
 }  // namespace vpm::collector

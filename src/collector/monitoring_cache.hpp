@@ -6,9 +6,10 @@
 // 'open' aggregate receipt (a PathID, AggID, and PktCnt — roughly 20
 // bytes)."
 //
-// This wraps per-path HopMonitor state behind a prefix-pair classifier and
-// accounts for the memory a hardware implementation would need, which the
-// overhead bench reports against the paper's 2 MB / 100 k-path figure.
+// This owns structure-of-arrays per-path state behind a prefix-pair
+// classifier and accounts for the memory a hardware implementation would
+// need, which the overhead bench reports against the paper's 2 MB /
+// 100 k-path figure.
 //
 // Data-plane fast path.  The per-packet step is classify -> digest ->
 // dispatch, engineered to the paper's §7.1 budget of three memory
@@ -17,7 +18,13 @@
 //     (power-of-two size, linear probing) — one multiply-hash plus a
 //     short contiguous probe, no std::unordered_map node chasing;
 //   * the packet is hashed exactly once (DigestEngine::decide) and the
-//     resulting PacketDecisions feed both the sampler and the aggregator;
+//     resulting PacketDecisions feed both the sampler and the aggregator
+//     kernels;
+//   * per-path state is structure-of-arrays (core/path_state.hpp): the
+//     fields every packet touches live in one contiguous 32-byte PathHot
+//     record per path — the cache holds ONE digest engine and ONE
+//     threshold set instead of the pre-SoA three engine copies and
+//     per-path threshold duplicates inside 100k heap-allocated monitors;
 //   * observe_batch() runs the loop over a span of packets, keeping the
 //     cost counters in registers and amortizing per-call overhead.
 // DataPlaneOps tracks the budget; hash_computations == observed packets
@@ -26,12 +33,14 @@
 #define VPM_COLLECTOR_MONITORING_CACHE_HPP
 
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <vector>
 
-#include "core/hop_monitor.hpp"
+#include "core/config.hpp"
+#include "core/path_state.hpp"
+#include "core/receipt.hpp"
 #include "net/packet.hpp"
+#include "net/path_id.hpp"
 #include "net/prefix.hpp"
 
 namespace vpm::collector {
@@ -182,23 +191,34 @@ class MonitoringCache {
       bool flush_open = false);
 
   [[nodiscard]] std::size_t path_count() const noexcept {
-    return monitors_.size();
+    return state_.path_count();
   }
   [[nodiscard]] std::uint64_t unknown_path_packets() const noexcept {
     return unknown_;
   }
   [[nodiscard]] const DataPlaneOps& ops() const noexcept { return ops_; }
 
-  /// Modeled SRAM footprint of the open-receipt state: paths x ~20 B
-  /// (PathID ref + AggID + PktCnt), per the paper's arithmetic.
+  /// SRAM footprint of the open-receipt state: the ACTUAL contiguous
+  /// hot-array bytes (paths x sizeof(core::PathHot)) — measured from the
+  /// layout, not the paper's ~20 B estimate (kOpenReceiptBytes).
   [[nodiscard]] std::size_t modeled_cache_bytes() const noexcept;
   /// Modeled temp-buffer footprint right now: buffered records x 7 B.
   [[nodiscard]] std::size_t modeled_temp_buffer_bytes() const noexcept;
   /// High-water mark of the temp buffer across all paths (records).
   [[nodiscard]] std::size_t temp_buffer_peak_records() const noexcept;
 
-  [[nodiscard]] const core::HopMonitor& monitor(std::size_t path) const {
-    return *monitors_.at(path);
+  /// The SoA block itself, for introspection (benchmarks, tests).
+  [[nodiscard]] const core::PathStateSoA& state() const noexcept {
+    return state_;
+  }
+  /// One path's §7.1 statistics (markers/swept/cuts/buffer peak; see
+  /// core::PathStats for how observed/peaks derive from these).
+  [[nodiscard]] const core::PathStats& path_stats(std::size_t path) const {
+    return state_.stats.at(path);
+  }
+  /// The PathId stamped on `path`'s receipts.
+  [[nodiscard]] const net::PathId& path_id(std::size_t path) const {
+    return path_ids_.at(path);
   }
   [[nodiscard]] const PathClassifier& classifier() const noexcept {
     return classifier_;
@@ -211,14 +231,18 @@ class MonitoringCache {
 
   PathClassifier classifier_;
   net::DigestEngine engine_;
-  std::vector<std::unique_ptr<core::HopMonitor>> monitors_;
+  core::PathStateSoA state_;
+  std::vector<net::PathId> path_ids_;
   DataPlaneOps ops_;
   std::uint64_t unknown_ = 0;
 };
 
 /// Bytes of open-receipt state per path in a hardware monitoring cache
 /// (PathID reference 4 B + AggID 8 B + PktCnt 4 B + open/close times 4 B):
-/// the paper rounds the same inventory to "roughly 20 bytes".
+/// the paper rounds the same inventory to "roughly 20 bytes".  The
+/// software layout spends sizeof(core::PathHot) == 32 B (full-width
+/// timestamps and the buffer/ring cursors) — modeled_cache_bytes()
+/// reports that measured figure.
 inline constexpr std::size_t kOpenReceiptBytes = 20;
 /// Bytes per temp-buffer record: PktID 4 B + Time 3 B (§7.1).
 inline constexpr std::size_t kTempRecordBytes = 7;

@@ -256,6 +256,28 @@ std::vector<core::IndexedPathDrain> ShardedCollector::drain(bool flush_open) {
   return core::merge_path_drains(std::move(per_shard));
 }
 
+core::StreamingDrainMerge ShardedCollector::drain_stream(bool flush_open) {
+  if (running_) {
+    throw std::logic_error("ShardedCollector: drain_stream while workers run");
+  }
+  std::vector<core::DrainSource> sources;
+  sources.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    if (!shard.cache) continue;  // unknown-only shard: nothing to stream
+    // Each source walks its shard's paths in (ascending) local order,
+    // draining ONE path per pull and tagging it with the global index.
+    sources.push_back([&shard, flush_open, local = std::size_t{0}]() mutable
+                      -> std::optional<core::IndexedPathDrain> {
+      if (local == shard.global_index.size()) return std::nullopt;
+      const std::size_t i = local++;
+      return core::IndexedPathDrain{
+          .path = shard.global_index[i],
+          .drain = shard.cache->drain_path(i, flush_open)};
+    });
+  }
+  return core::StreamingDrainMerge(std::move(sources));
+}
+
 DataPlaneOps ShardedCollector::ops() const {
   if (running_) {
     throw std::logic_error("ShardedCollector: ops() while workers run");

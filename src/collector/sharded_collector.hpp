@@ -157,6 +157,18 @@ class ShardedCollector {
   [[nodiscard]] std::vector<core::IndexedPathDrain> drain(
       bool flush_open = false);
 
+  /// Streaming variant of drain(): returns a lazy merge whose sources pull
+  /// ONE path drain per shard at a time (constant memory in the path
+  /// count), yielding the exact stream drain() materializes — so the
+  /// processor module can ship dissemination batches while later paths
+  /// are still draining.  Constructing the merge consumes nothing (an
+  /// abandoned merge loses no receipts); each next() drains shard state
+  /// lazily and destructively, so the collector must stay alive and
+  /// stopped until the merge is dropped or exhausted.  Throws
+  /// std::logic_error if workers are running.
+  [[nodiscard]] core::StreamingDrainMerge drain_stream(
+      bool flush_open = false);
+
   // --- stats (workers must be stopped, like drain) -----------------------
 
   [[nodiscard]] std::size_t shard_count() const noexcept {

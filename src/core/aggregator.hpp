@@ -13,6 +13,11 @@
 // point, split into those the HOP assigned before the cut and after it.
 // The window extends J *past* the cut, so a closed aggregate is emitted
 // only once its trailing window is complete ("pending" until then).
+//
+// This class is a single-path facade over the SoA kernels in
+// core/path_state.hpp (the per-packet step lives there, shared with
+// DelaySampler / HopMonitor / MonitoringCache).  It does NOT copy the
+// digest engine: the caller's engine must outlive the aggregator.
 #ifndef VPM_CORE_AGGREGATOR_HPP
 #define VPM_CORE_AGGREGATOR_HPP
 
@@ -20,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/path_state.hpp"
 #include "core/receipt.hpp"
 #include "net/digest.hpp"
 #include "net/packet.hpp"
@@ -27,89 +33,64 @@
 
 namespace vpm::core {
 
-/// A closed aggregate before PathId stamping (the HopMonitor adds that).
-struct AggregateData {
-  AggId agg;
-  std::uint32_t packet_count = 0;
-  TransWindow trans;
-  net::Timestamp opened_at;
-  net::Timestamp closed_at;
-};
-
 class Aggregator {
  public:
   /// `cut_threshold` is delta (local tuning); `j_window` is the
   /// system-wide reorder safety threshold J.  If `j_window` is zero no
   /// AggTrans state is kept (the §6.2 "basic solution").
   Aggregator(const net::DigestEngine& engine, std::uint32_t cut_threshold,
-             net::Duration j_window);
+             net::Duration j_window)
+      : engine_(&engine),
+        state_(PathParams{.cut_threshold = cut_threshold,
+                          .j_window = j_window},
+               1) {}
+  /// The engine is held by reference; a temporary would dangle.
+  Aggregator(net::DigestEngine&&, std::uint32_t, net::Duration) = delete;
 
   /// Feed one packet observation (Algorithm 2's per-packet step).
   /// Computes the packet's decision values itself — one hash pass.
   void observe(const net::Packet& p, net::Timestamp when) {
-    observe(engine_.decide(p), when);
+    observe(engine_->decide(p), when);
   }
 
   /// Fast path: decisions were already computed upstream (one hash per
   /// packet, shared with the sampler — see HopMonitor::observe).
-  void observe(const net::PacketDecisions& d, net::Timestamp when);
+  void observe(const net::PacketDecisions& d, net::Timestamp when) {
+    ++observed_;
+    path_observe_aggregator(state_, 0, d, when);
+  }
 
   /// Drain aggregates whose trailing AggTrans window is complete.
-  [[nodiscard]] std::vector<AggregateData> take_closed();
+  [[nodiscard]] std::vector<AggregateData> take_closed() {
+    return path_take_closed(state_, 0);
+  }
 
   /// Close and return the still-open aggregate (end of a measurement run).
   /// Its AggTrans is whatever has been observed; pending aggregates are
   /// finalised first — call take_closed() afterwards to drain everything.
-  [[nodiscard]] std::optional<AggregateData> flush_open();
+  [[nodiscard]] std::optional<AggregateData> flush_open() {
+    return path_flush_open(state_, 0);
+  }
 
   [[nodiscard]] std::uint64_t observed_packets() const noexcept {
     return observed_;
   }
-  [[nodiscard]] std::uint64_t cuts_seen() const noexcept { return cuts_; }
+  [[nodiscard]] std::uint64_t cuts_seen() const noexcept {
+    return state_.stats[0].cuts;
+  }
   [[nodiscard]] std::uint32_t cut_threshold() const noexcept {
-    return cut_threshold_;
+    return state_.params.cut_threshold;
   }
   /// Peak size of the recent-window buffer (drives §7.1 memory numbers).
   [[nodiscard]] std::size_t window_buffer_peak() const noexcept {
-    return window_peak_;
+    return state_.slots[0].warm.window_peak;
   }
 
  private:
-  struct Recent {
-    net::PacketDigest id;
-    net::Timestamp time;
-  };
-  struct Open {
-    AggId agg;
-    std::uint32_t count = 0;
-    net::Timestamp opened_at;
-    net::Timestamp last_at;
-  };
-  struct Pending {
-    AggregateData data;
-    net::Timestamp boundary;  ///< cut time; window completes at boundary+J
-  };
-
-  void finalize_due(net::Timestamp now);
-  void ring_push(const Recent& r);
-  void ring_grow();
-
-  net::DigestEngine engine_;
-  std::uint32_t cut_threshold_;
-  net::Duration j_window_;
-
-  std::optional<Open> open_;
-  /// Observations within the last J, as a preallocated power-of-two ring
-  /// (head_ + size_, linear probing-free): a sliding window that never
-  /// allocates in steady state, unlike the deque it replaces.
-  std::vector<Recent> ring_;
-  std::size_t ring_head_ = 0;
-  std::size_t ring_size_ = 0;
-  std::vector<Pending> pending_;
-  std::vector<AggregateData> closed_;
-  std::size_t window_peak_ = 0;
+  const net::DigestEngine* engine_;
   std::uint64_t observed_ = 0;
-  std::uint64_t cuts_ = 0;
+  /// One-path SoA block (see core/path_state.hpp).
+  PathStateSoA state_;
 };
 
 }  // namespace vpm::core

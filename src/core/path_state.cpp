@@ -1,0 +1,295 @@
+#include "core/path_state.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace vpm::core {
+namespace {
+
+/// First temp-buffer slice allocated to a path (records).  Deliberately
+/// small: a 100k-path cache must not pre-pay per-path arena space for
+/// paths that may never see traffic; busy paths double their slice on
+/// demand (amortised O(1) per record).
+constexpr std::uint32_t kBufInitialCap = 16;
+/// First J-ring slice (records, power of two).
+constexpr std::uint32_t kRingInitialCap = 8;
+
+/// Slice offsets and capacities are stored as 32-bit record indices
+/// (PathWarm).  An arena past 2^32 records (~69 GB) would silently wrap
+/// an offset into another path's live slice, so growth fails loud instead
+/// — the ROADMAP compaction follow-on is the real fix for runs that get
+/// near this.  Doubling is computed in 64 bits so a 2^31-capacity slice
+/// cannot wrap new_cap to 0 and slip past the check.
+void check_arena_offset(std::size_t begin, std::uint64_t new_cap,
+                        const char* which) {
+  if (begin + new_cap > 0xFFFFFFFFull) {
+    throw std::length_error(std::string("PathStateSoA: ") + which +
+                            " arena exceeds 32-bit slice addressing");
+  }
+}
+
+/// Relocate a path's temp-buffer slice to the arena tail with doubled
+/// capacity.  The old slice becomes garbage; doubling bounds total garbage
+/// below total live capacity.
+void grow_buffer(PathStateSoA& s, std::size_t path) {
+  PathSlot& slot = s.slots[path];
+  const std::uint32_t live = slot.hot.buf_size;
+  const std::uint64_t new_cap =
+      slot.warm.buf_cap == 0
+          ? kBufInitialCap
+          : static_cast<std::uint64_t>(slot.warm.buf_cap) * 2;
+  const std::size_t begin = s.buf_arena.size();
+  check_arena_offset(begin, new_cap, "temp-buffer");
+  s.buf_arena.resize(begin + new_cap);
+  std::copy_n(s.buf_arena.begin() + slot.warm.buf_begin, live,
+              s.buf_arena.begin() + static_cast<std::ptrdiff_t>(begin));
+  slot.warm.buf_begin = static_cast<std::uint32_t>(begin);
+  slot.warm.buf_cap = static_cast<std::uint32_t>(new_cap);
+}
+
+/// Relocate a path's J-ring slice to the arena tail with doubled capacity,
+/// linearised (entries move to [0, size), head resets to 0) — the SoA
+/// version of the pre-refactor Aggregator::ring_grow.
+void grow_ring(PathStateSoA& s, std::size_t path) {
+  PathSlot& slot = s.slots[path];
+  const std::uint64_t new_cap =
+      slot.warm.ring_cap == 0
+          ? kRingInitialCap
+          : static_cast<std::uint64_t>(slot.warm.ring_cap) * 2;
+  const std::size_t begin = s.ring_arena.size();
+  check_arena_offset(begin, new_cap, "J-ring");
+  s.ring_arena.resize(begin + new_cap);
+  if (slot.warm.ring_cap != 0) {
+    const std::uint32_t mask = slot.warm.ring_cap - 1;
+    for (std::uint32_t i = 0; i < slot.hot.ring_size; ++i) {
+      s.ring_arena[begin + i] =
+          s.ring_arena[slot.warm.ring_begin +
+                       ((slot.hot.ring_head + i) & mask)];
+    }
+  }
+  slot.warm.ring_begin = static_cast<std::uint32_t>(begin);
+  slot.warm.ring_cap = static_cast<std::uint32_t>(new_cap);
+  slot.hot.ring_head = 0;
+}
+
+/// Move pending aggregates whose AggTrans window is complete (now is J
+/// past their boundary) to the closed list, preserving relative order in
+/// both groups (the pre-refactor stable_partition semantics).
+void finalize_due(PathStateSoA& s, std::size_t path, net::Timestamp now) {
+  auto& pending = s.pending[path];
+  auto& closed = s.closed[path];
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (pending[i].boundary + s.params.j_window >= now) {
+      if (keep != i) pending[keep] = std::move(pending[i]);
+      ++keep;
+    } else {
+      closed.push_back(std::move(pending[i].data));
+    }
+  }
+  pending.resize(keep);
+  s.slots[path].warm.pend_count = static_cast<std::uint32_t>(keep);
+}
+
+}  // namespace
+
+std::size_t path_observe_sampler(PathStateSoA& s, std::size_t path,
+                                 const net::PacketDecisions& d,
+                                 net::Timestamp when) {
+  PathSlot& slot = s.slots[path];
+
+  if (d.marker_value > s.params.marker_threshold) {
+    // Algorithm 1, lines 1-6: the marker decides the fate of everything
+    // buffered since the previous marker.
+    PathStats& st = s.stats[path];
+    ++st.markers;
+    const std::size_t swept = slot.hot.buf_size;
+    st.swept += swept;
+    st.buffer_peak = std::max<std::uint64_t>(st.buffer_peak, swept);
+    const TimedDigest* buf = s.buf_arena.data() + slot.warm.buf_begin;
+    auto& emitted = s.emitted[path];
+    for (std::size_t i = 0; i < swept; ++i) {
+      if (net::DigestEngine::sample_value(buf[i].id, d.id) >
+          s.params.sample_threshold) {
+        emitted.push_back(SampleRecord{
+            .pkt_id = buf[i].id, .time = buf[i].time, .is_marker = false});
+      }
+    }
+    slot.hot.buf_size = 0;
+    emitted.push_back(
+        SampleRecord{.pkt_id = d.id, .time = when, .is_marker = true});
+    return swept;
+  }
+
+  // Algorithm 1, line 8: remember the packet until the next marker.
+  if (slot.hot.buf_size == slot.warm.buf_cap) grow_buffer(s, path);
+  s.buf_arena[slot.warm.buf_begin + slot.hot.buf_size] =
+      TimedDigest{d.id, when};
+  ++slot.hot.buf_size;
+  return 0;
+}
+
+void path_observe_aggregator(PathStateSoA& s, std::size_t path,
+                             const net::PacketDecisions& d,
+                             net::Timestamp when) {
+  PathSlot& slot = s.slots[path];
+  const bool has_j = s.params.j_window > net::Duration{0};
+  const bool is_cut =
+      slot.hot.agg_count != 0 && d.cut_value > s.params.cut_threshold;
+
+  if (slot.warm.pend_count != 0) finalize_due(s, path, when);
+
+  if (is_cut) {
+    // Algorithm 2, lines 2-5: close the current receipt; p starts the next
+    // aggregate.  The closed receipt's AggTrans.before is everything
+    // observed within J before the cut.
+    ++s.stats[path].cuts;
+    if (has_j) {
+      PendingAggregate pend;
+      pend.boundary = when;
+      pend.data.agg =
+          AggId{.first = slot.hot.agg_first, .last = slot.hot.agg_last};
+      pend.data.packet_count = slot.hot.agg_count;
+      pend.data.opened_at = net::Timestamp{slot.warm.opened_at_ns};
+      pend.data.closed_at = net::Timestamp{slot.hot.last_at_ns};
+      pend.data.trans.before.reserve(slot.hot.ring_size);
+      const TimedDigest* ring = s.ring_arena.data() + slot.warm.ring_begin;
+      const std::uint32_t mask = slot.warm.ring_cap - 1;  // ring_size > 0
+      for (std::uint32_t i = 0; i < slot.hot.ring_size; ++i) {
+        const TimedDigest& r = ring[(slot.hot.ring_head + i) & mask];
+        if (r.time + s.params.j_window >= when) {
+          pend.data.trans.before.push_back(r.id);
+        }
+      }
+      // The trailing window is roughly symmetric to the leading one.
+      pend.data.trans.after.reserve(pend.data.trans.before.size() + 1);
+      s.pending[path].push_back(std::move(pend));
+      ++slot.warm.pend_count;
+    } else {
+      // Basic §6.2 mode: no reorder window, close immediately.
+      s.closed[path].push_back(AggregateData{
+          .agg = AggId{.first = slot.hot.agg_first,
+                       .last = slot.hot.agg_last},
+          .packet_count = slot.hot.agg_count,
+          .trans = {},
+          .opened_at = net::Timestamp{slot.warm.opened_at_ns},
+          .closed_at = net::Timestamp{slot.hot.last_at_ns}});
+    }
+    slot.hot.agg_count = 0;
+  }
+
+  // The packet lands in every still-open AggTrans window (including, when
+  // it is a cut, the window of the boundary it just created).
+  if (slot.warm.pend_count != 0) {
+    for (PendingAggregate& pend : s.pending[path]) {
+      pend.data.trans.after.push_back(d.id);
+    }
+  }
+
+  if (slot.hot.agg_count == 0) {
+    slot.hot.agg_first = d.id;
+    slot.hot.agg_last = d.id;
+    slot.hot.agg_count = 1;
+    slot.warm.opened_at_ns = when.nanoseconds();
+    slot.hot.last_at_ns = when.nanoseconds();
+  } else {
+    // Algorithm 2, lines 5-6 run for every packet: LastPacketID <- p.
+    // The count saturates rather than wrap: agg_count == 0 encodes "no
+    // open aggregate", so a 2^32-packet aggregate (cuts effectively
+    // disabled on a hot path) must not wrap into the sentinel and reset
+    // the open aggregate's identity.  (The pre-SoA optional<Open> let
+    // the reported count wrap instead; saturation keeps AggId/opened_at
+    // correct and reports "at least 2^32-1".)
+    slot.hot.agg_last = d.id;
+    if (slot.hot.agg_count != 0xFFFFFFFFu) ++slot.hot.agg_count;
+    slot.hot.last_at_ns = when.nanoseconds();
+  }
+
+  if (has_j) {
+    if (slot.hot.ring_size == slot.warm.ring_cap) grow_ring(s, path);
+    const std::uint32_t mask = slot.warm.ring_cap - 1;
+    TimedDigest* ring = s.ring_arena.data() + slot.warm.ring_begin;
+    ring[(slot.hot.ring_head + slot.hot.ring_size) & mask] =
+        TimedDigest{d.id, when};
+    ++slot.hot.ring_size;
+    // Evict entries older than J — a sliding window over observations.
+    while (slot.hot.ring_size != 0 &&
+           ring[slot.hot.ring_head & mask].time + s.params.j_window < when) {
+      slot.hot.ring_head = (slot.hot.ring_head + 1) & mask;
+      --slot.hot.ring_size;
+    }
+    if (slot.hot.ring_size > slot.warm.window_peak) {
+      slot.warm.window_peak = slot.hot.ring_size;
+    }
+  }
+}
+
+std::vector<SampleRecord> path_take_samples(PathStateSoA& s,
+                                            std::size_t path) {
+  std::vector<SampleRecord> out;
+  out.swap(s.emitted[path]);
+  return out;
+}
+
+std::vector<AggregateData> path_take_closed(PathStateSoA& s,
+                                            std::size_t path) {
+  std::vector<AggregateData> out;
+  out.swap(s.closed[path]);
+  return out;
+}
+
+std::optional<AggregateData> path_flush_open(PathStateSoA& s,
+                                             std::size_t path) {
+  auto& pending = s.pending[path];
+  auto& closed = s.closed[path];
+  for (PendingAggregate& pend : pending) {
+    closed.push_back(std::move(pend.data));
+  }
+  pending.clear();
+  PathSlot& slot = s.slots[path];
+  slot.warm.pend_count = 0;
+
+  if (slot.hot.agg_count == 0) return std::nullopt;
+  AggregateData d;
+  d.agg = AggId{.first = slot.hot.agg_first, .last = slot.hot.agg_last};
+  d.packet_count = slot.hot.agg_count;
+  d.opened_at = net::Timestamp{slot.warm.opened_at_ns};
+  d.closed_at = net::Timestamp{slot.hot.last_at_ns};
+  slot.hot.agg_count = 0;
+  return d;
+}
+
+SampleReceipt path_collect_samples(PathStateSoA& s, std::size_t path,
+                                   const net::PathId& id) {
+  SampleReceipt r;
+  r.path = id;
+  r.sample_threshold = s.params.sample_threshold;
+  r.marker_threshold = s.params.marker_threshold;
+  r.samples = path_take_samples(s, path);
+  return r;
+}
+
+std::vector<AggregateReceipt> path_collect_aggregates(PathStateSoA& s,
+                                                      std::size_t path,
+                                                      const net::PathId& id,
+                                                      bool flush_open) {
+  auto stamp_one = [&id](const AggregateData& d) {
+    return AggregateReceipt{.path = id,
+                            .agg = d.agg,
+                            .packet_count = d.packet_count,
+                            .trans = d.trans,
+                            .opened_at = d.opened_at,
+                            .closed_at = d.closed_at};
+  };
+  std::optional<AggregateData> last;
+  if (flush_open) last = path_flush_open(s, path);
+  const std::vector<AggregateData> closed = path_take_closed(s, path);
+  std::vector<AggregateReceipt> out;
+  out.reserve(closed.size() + (last.has_value() ? 1 : 0));
+  for (const AggregateData& d : closed) out.push_back(stamp_one(d));
+  if (last.has_value()) out.push_back(stamp_one(*last));
+  return out;
+}
+
+}  // namespace vpm::core

@@ -17,6 +17,8 @@
 #define VPM_CORE_RECEIPT_MERGE_HPP
 
 #include <cstddef>
+#include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -41,6 +43,54 @@ struct IndexedPathDrain {
 /// path must live on exactly one shard).
 [[nodiscard]] std::vector<IndexedPathDrain> merge_path_drains(
     std::vector<std::vector<IndexedPathDrain>> shards);
+
+/// Pull source for one shard's drain stream: yields drains ascending by
+/// global path index, std::nullopt at end-of-stream.  A source is pulled
+/// lazily — one drain at a time, as the merge consumes it.
+using DrainSource = std::function<std::optional<IndexedPathDrain>()>;
+
+/// Iterator-style k-way merge of per-shard drain streams — the streaming
+/// counterpart of merge_path_drains.  Holds at most ONE drain per source
+/// (constant memory in the stream length), so the processor module can
+/// ship dissemination batches while shards are still draining instead of
+/// materializing every shard's full drain first.
+///
+/// Same contract as merge_path_drains, enforced lazily: each source must
+/// be strictly ascending by path index (std::invalid_argument on the
+/// offending pull otherwise) and no two sources may claim the same path
+/// index (std::invalid_argument when the tie reaches the merge front).
+class StreamingDrainMerge {
+ public:
+  /// Stores the sources without pulling from them: constructing the merge
+  /// consumes nothing, so an abandoned merge leaves every source's state
+  /// untouched.  The frontier (one drain per source) is pulled on the
+  /// first next()/done() call.
+  explicit StreamingDrainMerge(std::vector<DrainSource> sources);
+
+  /// Adapt materialized per-shard streams (the merge takes ownership).
+  [[nodiscard]] static StreamingDrainMerge over(
+      std::vector<std::vector<IndexedPathDrain>> shards);
+
+  /// The next drain in ascending global-path-index order, or std::nullopt
+  /// once every source is exhausted.
+  [[nodiscard]] std::optional<IndexedPathDrain> next();
+
+  /// True once every source is exhausted (next() would return nullopt).
+  [[nodiscard]] bool done();
+
+ private:
+  void prime();
+  void refill(std::size_t s);
+
+  struct Head {
+    std::optional<IndexedPathDrain> value;
+    std::size_t last_path = 0;  ///< valid once `seen_any`
+    bool seen_any = false;
+  };
+  std::vector<DrainSource> sources_;
+  std::vector<Head> heads_;
+  bool primed_ = false;
+};
 
 /// Stable k-way merge of aggregate-receipt streams by opened_at: the
 /// earliest-opened receipt wins; on ties the lower stream index goes

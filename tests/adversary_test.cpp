@@ -10,6 +10,7 @@
 #include "adversary/strategies.hpp"
 #include "baseline/trajectory_sampling.hpp"
 #include "core/consistency.hpp"
+#include "core/sampler.hpp"
 #include "core/verifier.hpp"
 #include "helpers.hpp"
 #include "loss/bernoulli.hpp"
