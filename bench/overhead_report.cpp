@@ -5,10 +5,13 @@
 // Every "measured" number below is computed from live data structures or
 // the actual serializer — the paper's figures are printed alongside.
 #include <cstdio>
+#include <utility>
 
 #include "collector/monitoring_cache.hpp"
 #include "collector/resource_model.hpp"
 #include "core/receipt_batch.hpp"
+#include "core/receipt_sink.hpp"
+#include "dissem/wire_exporter.hpp"
 #include "experiment.hpp"
 #include "trace/synthetic_trace.hpp"
 
@@ -111,6 +114,67 @@ void receipt_size_section() {
               hop.aggregates.size(), trans_ids, agg_bytes);
 }
 
+void receipt_egress_section() {
+  std::printf("== Receipt egress (measured from the wire exporter) ==\n\n");
+
+  // A real 10k-path workload drained straight through dissem::WireExporter:
+  // every byte counted below is an ACTUAL shipped byte — receipt_batch
+  // records, batch headers, chunk/section framing and envelope
+  // authentication included — against the modeled per-record arithmetic
+  // the bandwidth section uses.
+  trace::MultiPathConfig mcfg;
+  mcfg.path_count = 10'000;
+  mcfg.total_packets_per_second = 500'000;
+  mcfg.duration = net::milliseconds(500);
+  const auto multi = trace::generate_multi_path(mcfg);
+  collector::MonitoringCache::Config ccfg;
+  ccfg.protocol = bench::bench_protocol();
+  ccfg.tuning = core::HopTuning{.sample_rate = 0.01, .cut_rate = 1e-5};
+  collector::MonitoringCache cache(ccfg, multi.paths);
+  cache.observe_batch(multi.packets);
+
+  dissem::WireExporter exporter(
+      dissem::WireExporter::Config{.producer = 1,
+                                   .key = 0xC0FFEE,
+                                   .max_chunk_bytes = 64 * 1024},
+      [](dissem::Envelope&& e) { (void)e; });
+  cache.drain_all(exporter, /*flush_open=*/true);
+  exporter.finish();
+  const dissem::WireExporter::Stats& st = exporter.stats();
+
+  const double packets = static_cast<double>(multi.packets.size());
+  const double modeled =
+      static_cast<double>(st.sample_records * core::kSampleRecordBytes +
+                          st.aggregate_receipts * core::kAggregateRecordBytes) /
+      packets;
+  const double measured = static_cast<double>(st.envelope_bytes) / packets;
+  std::printf("  workload: %zu pkts over %zu paths -> %llu sample records,"
+              " %llu aggregates\n",
+              multi.packets.size(), cache.path_count(),
+              static_cast<unsigned long long>(st.sample_records),
+              static_cast<unsigned long long>(st.aggregate_receipts));
+  std::printf("  shipped:  %llu chunks, %llu payload B, %llu wire B"
+              " (peak buffer %zu B)\n",
+              static_cast<unsigned long long>(st.chunks),
+              static_cast<unsigned long long>(st.payload_bytes),
+              static_cast<unsigned long long>(st.envelope_bytes),
+              st.peak_buffer_bytes);
+  std::printf("  budget:   modeled %.3f B/pkt (%zu B/sample + %zu B/agg"
+              " marginals, §7.1)\n",
+              modeled, core::kSampleRecordBytes, core::kAggregateRecordBytes);
+  std::printf("  measured: %.3f B/pkt on the wire -> +%.3f B/pkt"
+              " (%.1f%%) framing delta\n",
+              measured, measured - modeled,
+              modeled > 0 ? (measured - modeled) / modeled * 100.0 : 0.0);
+  std::printf(
+      "  (The delta is batch headers amortized over few records per path\n"
+      "  at this drain cadence, plus %zu B/section + %zu B/chunk +\n"
+      "  %zu B/envelope framing.  Longer reporting periods or busier\n"
+      "  paths amortize it toward the modeled marginal.)\n\n",
+      dissem::kSectionHeaderBytes, dissem::kChunkHeaderBytes,
+      dissem::kEnvelopeOverheadBytes);
+}
+
 void bandwidth_section() {
   std::printf("== Bandwidth (paper section 7.1) ==\n\n");
   std::printf(
@@ -186,6 +250,7 @@ int main() {
   std::printf("\n");
   memory_section();
   receipt_size_section();
+  receipt_egress_section();
   bandwidth_section();
   processing_section();
   return 0;

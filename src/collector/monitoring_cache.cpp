@@ -212,11 +212,20 @@ core::PathDrain MonitoringCache::drain_path(std::size_t path,
                          .aggregates = collect_aggregates(path, flush_open)};
 }
 
-std::vector<core::PathDrain> MonitoringCache::drain_all(bool flush_open) {
-  std::vector<core::PathDrain> out;
-  out.reserve(state_.path_count());
+void MonitoringCache::drain_all(core::ReceiptSink& sink, bool flush_open) {
   for (std::size_t p = 0; p < state_.path_count(); ++p) {
-    out.push_back(drain_path(p, flush_open));
+    core::emit_drain(sink, p, drain_path(p, flush_open));
+  }
+}
+
+std::vector<core::PathDrain> MonitoringCache::drain_all(bool flush_open) {
+  core::VectorSink sink;
+  drain_all(sink, flush_open);
+  std::vector<core::IndexedPathDrain> stream = std::move(sink).take();
+  std::vector<core::PathDrain> out;
+  out.reserve(stream.size());
+  for (core::IndexedPathDrain& d : stream) {
+    out.push_back(std::move(d.drain));
   }
   return out;
 }

@@ -39,6 +39,7 @@
 #include "core/config.hpp"
 #include "core/path_state.hpp"
 #include "core/receipt.hpp"
+#include "core/receipt_sink.hpp"
 #include "net/packet.hpp"
 #include "net/path_id.hpp"
 #include "net/prefix.hpp"
@@ -186,7 +187,12 @@ class MonitoringCache {
   [[nodiscard]] core::PathDrain drain_path(std::size_t path,
                                            bool flush_open = false);
   /// Drain every path in index order (the canonical global receipt-stream
-  /// order the sharded collector's merge step reproduces).
+  /// order the sharded collector's merge step reproduces), streaming each
+  /// path into `sink` as it drains — constant memory in the path count.
+  /// This is the primary drain API; the vector overload below is a
+  /// VectorSink adapter over it.
+  void drain_all(core::ReceiptSink& sink, bool flush_open = false);
+  /// Materialized drain (legacy form): collects the sink stream.
   [[nodiscard]] std::vector<core::PathDrain> drain_all(
       bool flush_open = false);
 

@@ -31,6 +31,15 @@ class Element {
   virtual ~Element() = default;
   virtual bool process(const net::Packet& p, net::Timestamp when) = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Control-plane report hook: stream whatever receipts this element has
+  /// accumulated into `sink` (the processor module's periodic egress).
+  /// Default: no receipts.  Path indices restart per element, so a sink
+  /// that cares about indices should report one element at a time.
+  virtual void report(core::ReceiptSink& sink, bool flush_open = false) {
+    (void)sink;
+    (void)flush_open;
+  }
 };
 
 /// Header sanity checks (Click's CheckIPHeader analogue).
@@ -87,6 +96,9 @@ class VpmElement final : public Element {
     return true;
   }
   [[nodiscard]] std::string name() const override { return "VpmCollector"; }
+  void report(core::ReceiptSink& sink, bool flush_open = false) override {
+    cache_.drain_all(sink, flush_open);
+  }
   /// Batch callers go through cache().observe_batch() directly — that is
   /// a cache-level entry and does not traverse the other elements.
   [[nodiscard]] MonitoringCache& cache() noexcept { return cache_; }
@@ -113,6 +125,9 @@ class ShardedVpmElement final : public Element {
   [[nodiscard]] std::string name() const override {
     return "ShardedVpmCollector";
   }
+  void report(core::ReceiptSink& sink, bool flush_open = false) override {
+    collector_.drain(sink, flush_open);
+  }
   [[nodiscard]] ShardedCollector& collector() noexcept { return collector_; }
 
  private:
@@ -136,6 +151,12 @@ class Pipeline {
     }
     ++forwarded_;
     return true;
+  }
+
+  /// Stream every element's accumulated receipts into `sink`, in pipeline
+  /// order (the box's whole control-plane egress in one call).
+  void report(core::ReceiptSink& sink, bool flush_open = false) {
+    for (const auto& e : elements_) e->report(sink, flush_open);
   }
 
   [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }

@@ -234,26 +234,17 @@ void ShardedCollector::stop() {
 
 // --- control plane --------------------------------------------------------
 
+void ShardedCollector::drain(core::ReceiptSink& sink, bool flush_open) {
+  core::StreamingDrainMerge merge = drain_stream(flush_open);
+  while (std::optional<core::IndexedPathDrain> d = merge.next()) {
+    core::emit_drain(sink, d->path, std::move(d->drain));
+  }
+}
+
 std::vector<core::IndexedPathDrain> ShardedCollector::drain(bool flush_open) {
-  if (running_) {
-    throw std::logic_error("ShardedCollector: drain while workers run");
-  }
-  std::vector<std::vector<core::IndexedPathDrain>> per_shard;
-  per_shard.reserve(shards_.size());
-  for (Shard& shard : shards_) {
-    std::vector<core::IndexedPathDrain> stream;
-    if (shard.cache) {
-      std::vector<core::PathDrain> drains = shard.cache->drain_all(flush_open);
-      stream.reserve(drains.size());
-      for (std::size_t local = 0; local < drains.size(); ++local) {
-        stream.push_back(core::IndexedPathDrain{
-            .path = shard.global_index[local],
-            .drain = std::move(drains[local])});
-      }
-    }
-    per_shard.push_back(std::move(stream));
-  }
-  return core::merge_path_drains(std::move(per_shard));
+  core::VectorSink sink;
+  drain(sink, flush_open);
+  return std::move(sink).take();
 }
 
 core::StreamingDrainMerge ShardedCollector::drain_stream(bool flush_open) {

@@ -153,7 +153,13 @@ class ShardedCollector {
 
   /// Drain every shard and merge into one stream ascending by global path
   /// index — byte-identical to MonitoringCache::drain_all over the same
-  /// path table.  Throws std::logic_error if workers are running.
+  /// path table — streaming each merged path drain into `sink` as the
+  /// k-way merge (StreamingDrainMerge, one in-flight drain per shard)
+  /// produces it, so the whole 100k-path drain never materializes.  This
+  /// is the primary drain API; the vector overload is a VectorSink
+  /// adapter over it.  Throws std::logic_error if workers are running.
+  void drain(core::ReceiptSink& sink, bool flush_open = false);
+  /// Materialized drain (legacy form): collects the sink stream.
   [[nodiscard]] std::vector<core::IndexedPathDrain> drain(
       bool flush_open = false);
 

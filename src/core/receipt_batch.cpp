@@ -86,6 +86,12 @@ SampleReceipt decode_sample_batch(net::ByteReader& in,
       s.pkt_id = in.u32();
       s.time = epoch + net::microseconds(in.u24());
       s.is_marker = (i == followers);
+      // Receipts cross trust boundaries: a reporter's emitted stream is in
+      // observation order, so reject time inversions here instead of
+      // letting them corrupt downstream merges/joins.
+      if (!r.samples.empty() && s.time < r.samples.back().time) {
+        throw net::WireError("sample batch times not in observation order");
+      }
       r.samples.push_back(s);
     }
   }
@@ -140,6 +146,15 @@ std::vector<AggregateReceipt> decode_aggregate_batch(net::ByteReader& in,
     r.packet_count = in.u32();
     r.opened_at = epoch + net::microseconds(in.u24());
     r.closed_at = epoch + net::microseconds(in.u24());
+    // Consecutive aggregates from one HOP open in order and close no
+    // earlier than they open; hostile inversions would corrupt the
+    // dissemination merge and the verifier's aggregate join.
+    if (r.closed_at < r.opened_at) {
+      throw net::WireError("aggregate batch closes before it opens");
+    }
+    if (!out.empty() && r.opened_at < out.back().opened_at) {
+      throw net::WireError("aggregate batch receipts not in open order");
+    }
     const std::uint16_t n_before = in.u16();
     const std::uint16_t n_after = in.u16();
     in.expect_at_least((static_cast<std::size_t>(n_before) + n_after) * 4);

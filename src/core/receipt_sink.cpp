@@ -1,0 +1,54 @@
+#include "core/receipt_sink.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vpm::core {
+
+void emit_drain(ReceiptSink& sink, std::size_t path_index, PathDrain drain) {
+  // The sample receipt carries the PathId; hand it to begin_path before
+  // moving the receipt out.
+  sink.begin_path(path_index, drain.samples.path);
+  sink.on_samples(std::move(drain.samples));
+  for (AggregateReceipt& r : drain.aggregates) {
+    sink.on_aggregate(std::move(r));
+  }
+  sink.end_path();
+}
+
+void emit_stream(ReceiptSink& sink, std::vector<IndexedPathDrain> stream) {
+  for (IndexedPathDrain& d : stream) {
+    emit_drain(sink, d.path, std::move(d.drain));
+  }
+}
+
+void VectorSink::begin_path(std::size_t path_index, const net::PathId&) {
+  if (open_) {
+    throw std::logic_error("VectorSink: begin_path without end_path");
+  }
+  open_ = true;
+  stream_.push_back(IndexedPathDrain{.path = path_index, .drain = {}});
+}
+
+void VectorSink::on_samples(SampleReceipt samples) {
+  if (!open_) {
+    throw std::logic_error("VectorSink: on_samples outside a path");
+  }
+  stream_.back().drain.samples = std::move(samples);
+}
+
+void VectorSink::on_aggregate(AggregateReceipt aggregate) {
+  if (!open_) {
+    throw std::logic_error("VectorSink: on_aggregate outside a path");
+  }
+  stream_.back().drain.aggregates.push_back(std::move(aggregate));
+}
+
+void VectorSink::end_path() {
+  if (!open_) {
+    throw std::logic_error("VectorSink: end_path without begin_path");
+  }
+  open_ = false;
+}
+
+}  // namespace vpm::core

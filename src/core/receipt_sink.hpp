@@ -1,0 +1,110 @@
+// Streaming receipt-egress API: the consumer side of a control-plane
+// drain.
+//
+// The paper's processor module ships receipts to other domains as
+// authenticated wire batches (§2.3, §7.1); materializing a 100k-path drain
+// as std::vector<PathDrain> first would cost hundreds of MB the hardware
+// does not have.  A ReceiptSink is the push-based counterpart of
+// core::StreamingDrainMerge: every drain producer (MonitoringCache,
+// ShardedCollector, pipeline elements) streams receipts into a sink one
+// path at a time, so a consumer that encodes-and-forgets (the wire
+// exporter) runs in constant memory regardless of path count.
+//
+// Contract, per drained path, in ascending global-path-index order:
+//
+//   begin_path(index, id)        exactly once
+//   on_samples(receipt)          exactly once, before any aggregate
+//   on_aggregate(receipt)        zero or more times, in drain order
+//   end_path()                   exactly once
+//
+// The receipts arrive by value: the producer has already detached them
+// from its internal state (drains are destructive), so the sink may move
+// them without copying.  The legacy vector-returning drains are thin
+// adapters over VectorSink — byte-identical streams, pinned by the
+// existing equivalence suites.
+#ifndef VPM_CORE_RECEIPT_SINK_HPP
+#define VPM_CORE_RECEIPT_SINK_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/receipt.hpp"
+#include "core/receipt_merge.hpp"
+#include "net/path_id.hpp"
+
+namespace vpm::core {
+
+class ReceiptSink {
+ public:
+  virtual ~ReceiptSink() = default;
+
+  /// Start of one path's drain.  `path_index` is the producer's global
+  /// path index (collector drains emit ascending indices; a pipeline with
+  /// several collector elements restarts the index space per element).
+  /// `id` is the PathId stamped on the path's receipts.
+  virtual void begin_path(std::size_t path_index, const net::PathId& id) = 0;
+  /// The path's sample receipt — exactly one per path, possibly with an
+  /// empty record list (an idle path still discloses its thresholds).
+  virtual void on_samples(SampleReceipt samples) = 0;
+  /// One closed aggregate receipt, in drain (opened_at) order.
+  virtual void on_aggregate(AggregateReceipt aggregate) = 0;
+  /// End of the path's drain.
+  virtual void end_path() = 0;
+};
+
+/// Replay one materialized path drain into a sink (the adapter between
+/// the legacy vector world and the streaming world; also how tests replay
+/// recorded drains through production sinks).
+void emit_drain(ReceiptSink& sink, std::size_t path_index, PathDrain drain);
+
+/// Replay a merged drain stream into a sink.
+void emit_stream(ReceiptSink& sink, std::vector<IndexedPathDrain> stream);
+
+/// Collects a sink-based drain into the materialized legacy form.  The
+/// vector drains are implemented as exactly this adapter, so the legacy
+/// equivalence suites pin the sink refactor for free.
+class VectorSink final : public ReceiptSink {
+ public:
+  void begin_path(std::size_t path_index, const net::PathId& id) override;
+  void on_samples(SampleReceipt samples) override;
+  void on_aggregate(AggregateReceipt aggregate) override;
+  void end_path() override;
+
+  /// The collected stream, in arrival order.
+  [[nodiscard]] const std::vector<IndexedPathDrain>& stream() const noexcept {
+    return stream_;
+  }
+  [[nodiscard]] std::vector<IndexedPathDrain> take() && {
+    return std::move(stream_);
+  }
+
+ private:
+  std::vector<IndexedPathDrain> stream_;
+  bool open_ = false;
+};
+
+/// Discards everything (benchmark baselines, contract smoke tests).
+class NullSink final : public ReceiptSink {
+ public:
+  void begin_path(std::size_t, const net::PathId&) override { ++paths_; }
+  void on_samples(SampleReceipt samples) override {
+    sample_records_ += samples.samples.size();
+  }
+  void on_aggregate(AggregateReceipt) override { ++aggregates_; }
+  void end_path() override {}
+
+  [[nodiscard]] std::size_t paths() const noexcept { return paths_; }
+  [[nodiscard]] std::size_t sample_records() const noexcept {
+    return sample_records_;
+  }
+  [[nodiscard]] std::size_t aggregates() const noexcept { return aggregates_; }
+
+ private:
+  std::size_t paths_ = 0;
+  std::size_t sample_records_ = 0;
+  std::size_t aggregates_ = 0;
+};
+
+}  // namespace vpm::core
+
+#endif  // VPM_CORE_RECEIPT_SINK_HPP

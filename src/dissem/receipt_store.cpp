@@ -43,9 +43,9 @@ IngestResult ReceiptStore::ingest(Envelope envelope) {
   return IngestResult::kAccepted;
 }
 
-std::vector<std::span<const std::byte>> ReceiptStore::payloads_from(
+std::vector<std::vector<std::byte>> ReceiptStore::payloads_from(
     DomainId producer) const {
-  std::vector<std::span<const std::byte>> out;
+  std::vector<std::vector<std::byte>> out;
   const auto it = stored_.find(producer);
   if (it == stored_.end()) return out;
   out.reserve(it->second.size());
@@ -53,6 +53,16 @@ std::vector<std::span<const std::byte>> ReceiptStore::payloads_from(
     out.emplace_back(env.payload);
   }
   return out;
+}
+
+void ReceiptStore::for_each_payload(
+    DomainId producer,
+    const std::function<void(std::span<const std::byte>)>& visit) const {
+  const auto it = stored_.find(producer);
+  if (it == stored_.end()) return;
+  for (const auto& [seq, env] : it->second) {
+    visit(env.payload);
+  }
 }
 
 }  // namespace vpm::dissem

@@ -10,6 +10,7 @@
 #define VPM_DISSEM_RECEIPT_STORE_HPP
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <span>
 #include <unordered_map>
@@ -37,9 +38,22 @@ class ReceiptStore {
   /// Validate and file an envelope.
   IngestResult ingest(Envelope envelope);
 
-  /// All accepted payloads from `producer`, in sequence order.
-  [[nodiscard]] std::vector<std::span<const std::byte>> payloads_from(
+  /// All accepted payloads from `producer`, in sequence order, as OWNING
+  /// copies.  (This used to return spans into the stored envelopes — views
+  /// whose validity silently depended on the store's container internals
+  /// surviving later ingest; the regression suite pins the owning
+  /// behaviour.  Streaming consumers that must not copy use
+  /// for_each_payload instead.)
+  [[nodiscard]] std::vector<std::vector<std::byte>> payloads_from(
       DomainId producer) const;
+
+  /// Visit each accepted payload from `producer` in sequence order.  The
+  /// span handed to `visit` borrows the stored envelope and is valid ONLY
+  /// for the duration of the call; `visit` must not ingest into or
+  /// otherwise mutate this store.
+  void for_each_payload(
+      DomainId producer,
+      const std::function<void(std::span<const std::byte>)>& visit) const;
 
   [[nodiscard]] std::size_t accepted_count() const noexcept {
     return accepted_;

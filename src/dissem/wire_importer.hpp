@@ -1,0 +1,78 @@
+// The consumer side of receipt dissemination: walks one producer's
+// authenticated chunk stream out of a ReceiptStore and reconstructs the
+// per-path receipt drains the producer's collector emitted — the byte-level
+// inverse of WireExporter, closing the loop
+//
+//   collector drain -> wire batches -> sealed envelopes -> store ->
+//   recovered drains -> PathVerifier.
+//
+// Recovery is exact up to the wire format's 1 µs time quantisation: a
+// drain whose observation timestamps are microsecond-aligned round-trips
+// `==`-equal (the round-trip equivalence suite pins this).
+//
+// Input is hostile (receipts cross trust boundaries, §4): every structural
+// violation — unknown chunk/section tags, truncation, section length
+// mismatches, unknown or revisited path keys, aggregate sections before a
+// path's sample batch, split batches that disagree on thresholds — raises
+// net::WireError and never corrupts the sink stream.
+#ifndef VPM_DISSEM_WIRE_IMPORTER_HPP
+#define VPM_DISSEM_WIRE_IMPORTER_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/receipt_sink.hpp"
+#include "core/verifier.hpp"
+#include "dissem/receipt_store.hpp"
+#include "net/path_id.hpp"
+
+namespace vpm::dissem {
+
+class WireImporter {
+ public:
+  /// `paths` is the consumer's PathId table in global path index order
+  /// (announced out of band, exactly like the encode/decode contract of
+  /// core/receipt_batch).  Wire path keys resolve against it; recovered
+  /// drains are tagged with the matching index.  Throws
+  /// std::invalid_argument on duplicate path keys.
+  explicit WireImporter(std::vector<net::PathId> paths);
+
+  /// Decode every accepted chunk from `producer` in sequence order,
+  /// streaming the recovered per-path drains into `sink` (same
+  /// begin/samples/aggregates/end contract as the collector drains) —
+  /// constant memory in the number of paths and chunks.  A producer that
+  /// reports periodically ships several drains through one envelope
+  /// sequence; each round's paths are emitted as their own
+  /// begin/.../end_path groups, in shipped order (a fresh sample section
+  /// for an already-imported path starts the next round).  Throws
+  /// net::WireError on malformed input.
+  void import_into(const ReceiptStore& store, DomainId producer,
+                   core::ReceiptSink& sink) const;
+
+  /// Materialized convenience form.
+  [[nodiscard]] std::vector<core::IndexedPathDrain> import(
+      const ReceiptStore& store, DomainId producer) const;
+
+  /// Rebuild the HopReceipts of a single-path producer (one HOP's receipts
+  /// about one path) for PathVerifier::add_hop.  Periodic reporting
+  /// rounds concatenate, matching the collector's
+  /// periodic-drains-concatenate-to-one-shot invariant.  Throws
+  /// std::invalid_argument on an empty stream or a producer whose stream
+  /// covers more than one path.
+  [[nodiscard]] core::HopReceipts import_hop(const ReceiptStore& store,
+                                             DomainId producer,
+                                             net::HopId hop) const;
+
+  [[nodiscard]] std::size_t path_count() const noexcept {
+    return paths_.size();
+  }
+
+ private:
+  std::vector<net::PathId> paths_;
+  std::unordered_map<std::uint64_t, std::size_t> index_of_;
+};
+
+}  // namespace vpm::dissem
+
+#endif  // VPM_DISSEM_WIRE_IMPORTER_HPP

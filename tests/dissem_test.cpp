@@ -109,6 +109,53 @@ TEST(ReceiptStore, PayloadsReturnedInSequenceOrder) {
   EXPECT_TRUE(store.payloads_from(99).empty());
 }
 
+// Regression for the span-lifetime hazard: payloads_from used to return
+// spans into the stored envelopes, views whose validity silently depended
+// on the store's container internals surviving later ingest.  It now
+// returns owning copies — results must stay intact however much is
+// ingested afterwards — and streaming consumers use for_each_payload,
+// whose spans are documented valid only during the visit.
+TEST(ReceiptStore, PayloadsFromSurvivesLaterIngest) {
+  ReceiptStore store;
+  store.register_producer(3, 9);
+  ASSERT_EQ(store.ingest(seal(3, 1, bytes_of("first payload"), 9)),
+            IngestResult::kAccepted);
+  const auto before = store.payloads_from(3);
+  ASSERT_EQ(before.size(), 1u);
+
+  // Hammer the store: many new producers (rehashes the outer maps) and a
+  // long run of further envelopes for the same producer.
+  for (DomainId producer = 100; producer < 200; ++producer) {
+    store.register_producer(producer, producer);
+    ASSERT_EQ(store.ingest(seal(producer, 1, bytes_of("x"), producer)),
+              IngestResult::kAccepted);
+  }
+  for (std::uint64_t seq = 2; seq <= 64; ++seq) {
+    ASSERT_EQ(store.ingest(seal(3, seq, bytes_of("later"), 9)),
+              IngestResult::kAccepted);
+  }
+
+  auto after = store.payloads_from(3);
+  ASSERT_EQ(after.size(), 64u);
+  EXPECT_EQ(before.front(), after.front());
+  EXPECT_EQ(before.front(), bytes_of("first payload"));
+}
+
+TEST(ReceiptStore, ForEachPayloadVisitsInSequenceOrder) {
+  ReceiptStore store;
+  store.register_producer(4, 1);
+  ASSERT_EQ(store.ingest(seal(4, 5, bytes_of("bb"), 1)),
+            IngestResult::kAccepted);
+  ASSERT_EQ(store.ingest(seal(4, 9, bytes_of("cccc"), 1)),
+            IngestResult::kAccepted);
+  std::vector<std::size_t> sizes;
+  store.for_each_payload(4, [&](std::span<const std::byte> payload) {
+    sizes.push_back(payload.size());
+  });
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{2, 4}));
+  store.for_each_payload(99, [&](std::span<const std::byte>) { FAIL(); });
+}
+
 TEST(ReceiptStore, KeyRotationInvalidatesOldKey) {
   ReceiptStore store;
   store.register_producer(5, 111);

@@ -1,0 +1,467 @@
+// Hostile-input hardening for the receipt wire formats: receipts cross
+// trust boundaries (§4), so every decoder must treat its input as
+// attacker-controlled.  This suite truncates valid encodings at EVERY byte
+// offset, corrupts counts and times, and walks the exporter's chunk
+// framing with the same malice — proving each malformed input raises
+// net::WireError (or std::invalid_argument at encode time) and never
+// over-reads or corrupts state (the ASan+UBSan CI job runs this suite).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/receipt_batch.hpp"
+#include "core/receipt_sink.hpp"
+#include "dissem/envelope.hpp"
+#include "dissem/receipt_store.hpp"
+#include "dissem/wire_exporter.hpp"
+#include "dissem/wire_importer.hpp"
+#include "net/wire.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace vpm {
+namespace {
+
+net::PathId test_path() {
+  net::PathId id{};
+  id.prefixes = trace::default_prefix_pair();
+  id.previous_hop = 1;
+  id.next_hop = 3;
+  return id;
+}
+
+core::SampleReceipt valid_samples(std::size_t rounds = 3,
+                                  std::size_t followers = 2) {
+  core::SampleReceipt r;
+  r.path = test_path();
+  r.sample_threshold = 1000;
+  r.marker_threshold = 2000;
+  net::Timestamp t{};
+  std::uint32_t pkt = 1;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i <= followers; ++i) {
+      r.samples.push_back(core::SampleRecord{
+          .pkt_id = pkt++, .time = t, .is_marker = i == followers});
+      t += net::microseconds(50);
+    }
+  }
+  return r;
+}
+
+std::vector<core::AggregateReceipt> valid_aggregates(std::size_t n = 3) {
+  std::vector<core::AggregateReceipt> out;
+  net::Timestamp t{};
+  std::uint32_t pkt = 100;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::AggregateReceipt r;
+    r.path = test_path();
+    r.agg = core::AggId{.first = pkt++, .last = pkt++};
+    r.packet_count = 10 + static_cast<std::uint32_t>(i);
+    r.opened_at = t;
+    r.closed_at = t + net::milliseconds(1);
+    r.trans.before = {pkt++, pkt++};
+    r.trans.after = {pkt++};
+    out.push_back(r);
+    t += net::milliseconds(2);
+  }
+  return out;
+}
+
+std::vector<std::byte> encode_sample(const core::SampleReceipt& r) {
+  net::ByteWriter w;
+  core::encode_sample_batch(r, w);
+  return std::move(w).take();
+}
+
+std::vector<std::byte> encode_aggregates(
+    std::span<const core::AggregateReceipt> rs) {
+  net::ByteWriter w;
+  core::encode_aggregate_batch(rs, w);
+  return std::move(w).take();
+}
+
+// --- truncation at every byte offset ------------------------------------
+
+TEST(ReceiptWireHostile, SampleBatchTruncationAtEveryOffsetThrows) {
+  const auto bytes = encode_sample(valid_samples());
+  const net::PathId id = test_path();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    net::ByteReader in(std::span<const std::byte>(bytes).first(len));
+    EXPECT_THROW((void)core::decode_sample_batch(in, id), net::WireError)
+        << "prefix length " << len;
+  }
+  net::ByteReader whole(bytes);
+  EXPECT_EQ(core::decode_sample_batch(whole, id), valid_samples());
+  EXPECT_TRUE(whole.done());
+}
+
+TEST(ReceiptWireHostile, AggregateBatchTruncationAtEveryOffsetThrows) {
+  const auto aggs = valid_aggregates();
+  const auto bytes = encode_aggregates(aggs);
+  const net::PathId id = test_path();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    net::ByteReader in(std::span<const std::byte>(bytes).first(len));
+    EXPECT_THROW((void)core::decode_aggregate_batch(in, id), net::WireError)
+        << "prefix length " << len;
+  }
+  net::ByteReader whole(bytes);
+  EXPECT_EQ(core::decode_aggregate_batch(whole, id), aggs);
+}
+
+TEST(ReceiptWireHostile, EnvelopeTruncationAtEveryOffsetThrows) {
+  const dissem::Envelope e =
+      dissem::seal(9, 4, std::vector<std::byte>(37, std::byte{0x5A}), 123);
+  net::ByteWriter w;
+  dissem::encode(e, w);
+  const std::vector<std::byte> bytes = std::move(w).take();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    net::ByteReader in(std::span<const std::byte>(bytes).first(len));
+    EXPECT_THROW((void)dissem::decode_envelope(in), net::WireError)
+        << "prefix length " << len;
+  }
+}
+
+// --- corrupted counts and fields ----------------------------------------
+
+// Flip every byte of a valid batch: the decoder must either throw
+// WireError/still parse — never crash or over-read (ASan enforces the
+// latter).  Parsed-but-different results are fine; authenticity is the
+// envelope MAC's job, not the batch parser's.
+TEST(ReceiptWireHostile, SampleBatchSingleByteCorruptionNeverOverReads) {
+  const auto bytes = encode_sample(valid_samples());
+  const net::PathId id = test_path();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::byte> mutated = bytes;
+    mutated[i] ^= std::byte{0xFF};
+    net::ByteReader in(mutated);
+    try {
+      (void)core::decode_sample_batch(in, id);
+    } catch (const net::WireError&) {
+    }
+  }
+}
+
+TEST(ReceiptWireHostile, AggregateBatchSingleByteCorruptionNeverOverReads) {
+  const auto bytes = encode_aggregates(valid_aggregates());
+  const net::PathId id = test_path();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::byte> mutated = bytes;
+    mutated[i] ^= std::byte{0xFF};
+    net::ByteReader in(mutated);
+    try {
+      (void)core::decode_aggregate_batch(in, id);
+    } catch (const net::WireError&) {
+    }
+  }
+}
+
+TEST(ReceiptWireHostile, AbsurdCountsThrowInsteadOfAllocatingOrOverReading) {
+  // Sample batch claiming 2^32-1 rounds: must hit truncation, not loop.
+  {
+    net::ByteWriter w;
+    core::SampleReceipt empty;
+    empty.path = test_path();
+    core::encode_sample_batch(empty, w);
+    std::vector<std::byte> bytes = std::move(w).take();
+    // round count is the last u32 of the empty encoding.
+    for (std::size_t i = bytes.size() - 4; i < bytes.size(); ++i) {
+      bytes[i] = std::byte{0xFF};
+    }
+    net::ByteReader in(bytes);
+    EXPECT_THROW((void)core::decode_sample_batch(in, test_path()),
+                 net::WireError);
+  }
+  // Aggregate batch claiming 2^32-1 receipts likewise.
+  {
+    const auto aggs = valid_aggregates(1);
+    std::vector<std::byte> bytes = encode_aggregates(aggs);
+    // receipt count: u32 after tag(1) + key(8) + epoch(8).
+    for (std::size_t i = 17; i < 21; ++i) bytes[i] = std::byte{0xFF};
+    net::ByteReader in(bytes);
+    EXPECT_THROW((void)core::decode_aggregate_batch(in, test_path()),
+                 net::WireError);
+  }
+  // AggTrans id counts of 0xFFFF each with no bytes behind them.
+  {
+    const auto aggs = valid_aggregates(1);
+    std::vector<std::byte> bytes = encode_aggregates(aggs);
+    // trans counts: two u16s after tag+key+epoch+count(4)+agg(8)+cnt(4)+
+    // open(3)+close(3) = 21 + 18 = offset 39.
+    bytes[39] = bytes[40] = bytes[41] = bytes[42] = std::byte{0xFF};
+    net::ByteReader in(bytes);
+    EXPECT_THROW((void)core::decode_aggregate_batch(in, test_path()),
+                 net::WireError);
+  }
+}
+
+// --- non-monotone times --------------------------------------------------
+
+TEST(ReceiptWireHostile, EncodeRejectsNonMonotoneTimes) {
+  core::SampleReceipt r = valid_samples();
+  r.samples[1].time = r.samples[0].time - net::microseconds(10);
+  net::ByteWriter w;
+  EXPECT_THROW(core::encode_sample_batch(r, w), std::invalid_argument);
+
+  auto aggs = valid_aggregates();
+  aggs[1].opened_at = aggs[0].opened_at - net::milliseconds(1);
+  net::ByteWriter w2;
+  EXPECT_THROW(core::encode_aggregate_batch(aggs, w2), std::invalid_argument);
+}
+
+TEST(ReceiptWireHostile, DecodeRejectsTimeInversions) {
+  // Hand-craft a sample batch whose second record steps backwards.
+  net::ByteWriter w;
+  w.u8(0x11);
+  w.u64(test_path().path_key());
+  w.u32(1000);
+  w.u32(2000);
+  w.i64(0);   // epoch
+  w.u32(1);   // one round
+  w.u16(1);   // one follower + marker
+  w.u32(1);   // follower pkt id
+  w.u24(500); // follower at +500 µs
+  w.u32(2);   // marker pkt id
+  w.u24(100); // marker at +100 µs — before its follower
+  net::ByteReader in(w.view());
+  EXPECT_THROW((void)core::decode_sample_batch(in, test_path()),
+               net::WireError);
+
+  // And an aggregate that closes before it opens.
+  net::ByteWriter w2;
+  w2.u8(0x12);
+  w2.u64(test_path().path_key());
+  w2.i64(0);   // epoch
+  w2.u32(1);   // one receipt
+  w2.u32(1);   // agg.first
+  w2.u32(2);   // agg.last
+  w2.u32(10);  // packet count
+  w2.u24(900); // opened at +900 µs
+  w2.u24(100); // closed at +100 µs
+  w2.u16(0);
+  w2.u16(0);
+  net::ByteReader in2(w2.view());
+  EXPECT_THROW((void)core::decode_aggregate_batch(in2, test_path()),
+               net::WireError);
+}
+
+TEST(ReceiptWireHostile, DecodeRejectsWrongPathKeyAndTag) {
+  const auto bytes = encode_sample(valid_samples());
+  net::PathId other = test_path();
+  other.prefixes.source = net::Prefix(net::Ipv4Address(0x0B000000), 16);
+  net::ByteReader in(bytes);
+  EXPECT_THROW((void)core::decode_sample_batch(in, other), net::WireError);
+
+  net::ByteReader in2(bytes);
+  EXPECT_THROW((void)core::decode_aggregate_batch(in2, test_path()),
+               net::WireError);
+}
+
+// --- the exporter/importer chunk framing ---------------------------------
+
+class ChunkHostile : public ::testing::Test {
+ protected:
+  /// One sealed chunk carrying a real one-path drain.
+  std::vector<std::byte> valid_chunk_payload() {
+    std::vector<std::byte> payload;
+    dissem::WireExporter exporter(
+        dissem::WireExporter::Config{.producer = 1, .key = 2},
+        [&payload](dissem::Envelope&& e) { payload = std::move(e.payload); });
+    core::PathDrain drain;
+    drain.samples = valid_samples();
+    drain.aggregates = valid_aggregates();
+    core::emit_drain(exporter, 0, drain);
+    exporter.finish();
+    return payload;
+  }
+
+  void expect_import_throws(std::span<const std::byte> payload) {
+    dissem::ReceiptStore store;
+    store.register_producer(1, 2);
+    ASSERT_EQ(store.ingest(dissem::seal(
+                  1, 1, std::vector<std::byte>(payload.begin(), payload.end()),
+                  2)),
+              dissem::IngestResult::kAccepted);
+    const dissem::WireImporter importer({test_path()});
+    core::NullSink sink;
+    EXPECT_THROW(importer.import_into(store, 1, sink), net::WireError);
+  }
+};
+
+TEST_F(ChunkHostile, TruncationAtEveryOffsetThrows) {
+  const auto payload = valid_chunk_payload();
+  ASSERT_FALSE(payload.empty());
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    expect_import_throws(std::span<const std::byte>(payload).first(len));
+  }
+}
+
+TEST_F(ChunkHostile, UnknownPathKeySectionKindAndChunkTagThrow) {
+  auto payload = valid_chunk_payload();
+  // Chunk tag.
+  {
+    auto p = payload;
+    p[0] = std::byte{0x7F};
+    expect_import_throws(p);
+  }
+  // First section kind (offset: tag 1 + count 4).
+  {
+    auto p = payload;
+    p[5] = std::byte{0x7F};
+    expect_import_throws(p);
+  }
+  // First section path key (offset 6..13).
+  {
+    auto p = payload;
+    p[6] ^= std::byte{0xFF};
+    expect_import_throws(p);
+  }
+}
+
+TEST_F(ChunkHostile, SectionLengthMismatchThrows) {
+  auto payload = valid_chunk_payload();
+  // Section length field sits after kind(1) + key(8) at offset 14..17;
+  // shrinking it makes the decoded batch overrun the declared length.
+  payload[14] = std::byte{static_cast<unsigned char>(
+      std::to_integer<unsigned>(payload[14]) - 1)};
+  expect_import_throws(payload);
+}
+
+TEST_F(ChunkHostile, AggregateSectionBeforeSamplesThrows) {
+  // Build a chunk whose first (and only) section is an aggregate batch.
+  net::ByteWriter batch;
+  core::encode_aggregate_batch(valid_aggregates(), batch);
+  net::ByteWriter payload;
+  payload.u8(dissem::kChunkTag);
+  payload.u32(1);
+  payload.u8(dissem::kAggregateSectionKind);
+  payload.u64(test_path().path_key());
+  payload.u32(static_cast<std::uint32_t>(batch.size()));
+  payload.bytes(batch.view());
+  expect_import_throws(payload.view());
+}
+
+TEST_F(ChunkHostile, AggregateSectionRevisitingAClosedPathThrows) {
+  // Path A's sections, then path B's, then an AGGREGATE section claiming
+  // to continue A: a revisit may only open a new reporting round, and a
+  // round must start with the path's sample batch.
+  net::PathId path_b = test_path();
+  path_b.prefixes.source = net::Prefix(net::Ipv4Address(0x0B000000), 16);
+
+  net::ByteWriter empty_a, empty_b, aggs_a;
+  core::SampleReceipt sa;
+  sa.path = test_path();
+  core::encode_sample_batch(sa, empty_a);
+  core::SampleReceipt sb;
+  sb.path = path_b;
+  core::encode_sample_batch(sb, empty_b);
+  core::encode_aggregate_batch(valid_aggregates(), aggs_a);
+
+  struct Section {
+    std::uint8_t kind;
+    std::uint64_t key;
+    const net::ByteWriter* batch;
+  };
+  const Section sections[] = {
+      {dissem::kSampleSectionKind, test_path().path_key(), &empty_a},
+      {dissem::kSampleSectionKind, path_b.path_key(), &empty_b},
+      {dissem::kAggregateSectionKind, test_path().path_key(), &aggs_a}};
+  net::ByteWriter payload;
+  payload.u8(dissem::kChunkTag);
+  payload.u32(3);
+  for (const Section& s : sections) {
+    payload.u8(s.kind);
+    payload.u64(s.key);
+    payload.u32(static_cast<std::uint32_t>(s.batch->size()));
+    payload.bytes(s.batch->view());
+  }
+
+  dissem::ReceiptStore store;
+  store.register_producer(1, 2);
+  ASSERT_EQ(store.ingest(dissem::seal(
+                1, 1,
+                std::vector<std::byte>(payload.view().begin(),
+                                       payload.view().end()),
+                2)),
+            dissem::IngestResult::kAccepted);
+  const dissem::WireImporter importer({test_path(), path_b});
+  core::NullSink sink;
+  EXPECT_THROW(importer.import_into(store, 1, sink), net::WireError);
+}
+
+TEST_F(ChunkHostile, SeamTimeInversionAcrossSplitBatchesThrows) {
+  // Each section is internally monotone, but the seam steps backwards —
+  // the reassembled stream must be rejected just like an in-batch
+  // inversion would be.
+  const auto make_samples = [](std::int64_t first_us) {
+    core::SampleReceipt r;
+    r.path = test_path();
+    r.sample_threshold = 1000;
+    r.marker_threshold = 2000;
+    r.samples.push_back(core::SampleRecord{
+        .pkt_id = 1,
+        .time = net::Timestamp{} + net::microseconds(first_us),
+        .is_marker = true});
+    return r;
+  };
+  const auto make_agg = [](std::int64_t open_us) {
+    core::AggregateReceipt r;
+    r.path = test_path();
+    r.opened_at = net::Timestamp{} + net::microseconds(open_us);
+    r.closed_at = r.opened_at + net::microseconds(10);
+    return r;
+  };
+  const auto build = [](std::initializer_list<
+                         std::pair<std::uint8_t, const net::ByteWriter*>>
+                            sections) {
+    net::ByteWriter payload;
+    payload.u8(dissem::kChunkTag);
+    payload.u32(static_cast<std::uint32_t>(sections.size()));
+    for (const auto& [kind, batch] : sections) {
+      payload.u8(kind);
+      payload.u64(test_path().path_key());
+      payload.u32(static_cast<std::uint32_t>(batch->size()));
+      payload.bytes(batch->view());
+    }
+    return std::vector<std::byte>(payload.view().begin(),
+                                  payload.view().end());
+  };
+
+  // Split sample batches: [500 µs] then [100 µs].
+  {
+    net::ByteWriter b1, b2;
+    core::encode_sample_batch(make_samples(500), b1);
+    core::encode_sample_batch(make_samples(100), b2);
+    expect_import_throws(build({{dissem::kSampleSectionKind, &b1},
+                                {dissem::kSampleSectionKind, &b2}}));
+  }
+  // Split aggregate batches: opens at 300 µs then 100 µs.
+  {
+    net::ByteWriter s, b1, b2;
+    core::SampleReceipt empty;
+    empty.path = test_path();
+    core::encode_sample_batch(empty, s);
+    const auto a1 = make_agg(300);
+    const auto a2 = make_agg(100);
+    core::encode_aggregate_batch({&a1, 1}, b1);
+    core::encode_aggregate_batch({&a2, 1}, b2);
+    expect_import_throws(build({{dissem::kSampleSectionKind, &s},
+                                {dissem::kAggregateSectionKind, &b1},
+                                {dissem::kAggregateSectionKind, &b2}}));
+  }
+}
+
+TEST_F(ChunkHostile, StoreRejectsTamperedChunkBeforeItReachesTheDecoder) {
+  auto payload = valid_chunk_payload();
+  dissem::Envelope env = dissem::seal(1, 1, payload, 2);
+  env.payload[20] ^= std::byte{0x01};
+  dissem::ReceiptStore store;
+  store.register_producer(1, 2);
+  EXPECT_EQ(store.ingest(std::move(env)),
+            dissem::IngestResult::kBadAuthenticator);
+  EXPECT_EQ(store.accepted_count(), 0u);
+}
+
+}  // namespace
+}  // namespace vpm
