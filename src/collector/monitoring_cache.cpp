@@ -47,6 +47,20 @@ PathClassifier::PathClassifier(std::span<const net::PrefixPair> paths) {
 
 namespace {
 
+void validate_lifecycle(const LifecycleConfig& cfg) {
+  if (cfg.evict_idle && cfg.idle_ttl <= net::Duration{0}) {
+    throw std::invalid_argument(
+        "LifecycleConfig: idle_ttl must be positive when eviction is "
+        "enabled");
+  }
+  // NaN fails both comparisons' complements, so spell the valid range out.
+  if (!(cfg.compact_garbage_fraction >= 0.0 &&
+        cfg.compact_garbage_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "LifecycleConfig: compact_garbage_fraction must lie in [0, 1]");
+  }
+}
+
 core::PathParams params_for(const MonitoringCache::Config& cfg) {
   // sample_threshold_for validates the tuning (throws on infeasible
   // rates), exactly as the per-path monitor constructor used to.
@@ -65,7 +79,9 @@ MonitoringCache::MonitoringCache(Config cfg,
                                  std::span<const net::PrefixPair> paths)
     : classifier_(paths),
       engine_(cfg.protocol.make_engine()),
-      state_(params_for(cfg), paths.size()) {
+      state_(params_for(cfg), paths.size()),
+      lifecycle_(cfg.lifecycle) {
+  validate_lifecycle(lifecycle_);
   path_ids_.reserve(paths.size());
   for (const net::PrefixPair& pair : paths) {
     path_ids_.push_back(net::PathId{
@@ -228,6 +244,67 @@ std::vector<core::PathDrain> MonitoringCache::drain_all(bool flush_open) {
     out.push_back(std::move(d.drain));
   }
   return out;
+}
+
+MonitoringCache::EvictResult MonitoringCache::evict_path_if_idle(
+    std::size_t path, net::Timestamp now, core::ReceiptSink& sink) {
+  EvictResult r;
+  if (!lifecycle_.evict_idle) return r;
+  if (!state_.path_has_state(path)) return r;
+  // last_at_ns is written by every observed packet (the fused kernel runs
+  // the aggregator for each packet), so it is the path's last-activity
+  // time; path_has_state guards the never-observed zero.
+  const net::Timestamp last{state_.slots[path].hot.last_at_ns};
+  if (now - last < lifecycle_.idle_ttl) return r;
+
+  // Drain through the normal receipt path first — nothing decided is
+  // lost.  A path with no receipts to disclose ships nothing: an empty
+  // eviction group on the wire would read as an extra reporting round for
+  // that path (the importer's repeated-key rule) and age round-fed
+  // verifier state early.
+  core::PathDrain drain = drain_path(path, /*flush_open=*/true);
+  if (!drain.samples.samples.empty() || !drain.aggregates.empty()) {
+    core::emit_drain(sink, path, std::move(drain));
+  }
+  r.dropped_buffered = core::path_evict(state_, path);
+  r.evicted = true;
+  ++lifecycle_totals_.evicted_paths;
+  lifecycle_totals_.dropped_buffered_records += r.dropped_buffered;
+  return r;
+}
+
+bool MonitoringCache::compaction_due() const noexcept {
+  const std::size_t total = state_.arena_bytes();
+  if (total == 0) return false;
+  const std::size_t garbage = state_.arena_garbage_bytes();
+  return static_cast<double>(garbage) >
+         lifecycle_.compact_garbage_fraction * static_cast<double>(total);
+}
+
+std::size_t MonitoringCache::compact_arenas() {
+  const std::size_t reclaimed = core::path_state_compact(state_);
+  ++lifecycle_totals_.compactions;
+  lifecycle_totals_.reclaimed_arena_bytes += reclaimed;
+  return reclaimed;
+}
+
+LifecycleReport MonitoringCache::run_lifecycle(net::Timestamp now,
+                                               core::ReceiptSink& sink) {
+  LifecycleReport report;
+  if (lifecycle_.evict_idle) {
+    for (std::size_t p = 0; p < state_.path_count(); ++p) {
+      const EvictResult r = evict_path_if_idle(p, now, sink);
+      if (r.evicted) {
+        ++report.evicted_paths;
+        report.dropped_buffered_records += r.dropped_buffered;
+      }
+    }
+  }
+  if (compaction_due()) {
+    report.reclaimed_arena_bytes += compact_arenas();
+    ++report.compactions;
+  }
+  return report;
 }
 
 std::size_t MonitoringCache::modeled_cache_bytes() const noexcept {

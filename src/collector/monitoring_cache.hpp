@@ -149,6 +149,40 @@ struct DataPlaneOps {
   }
 };
 
+/// Epoch-lifecycle knobs: how a long-running cache retires state at
+/// control-plane passes (ROADMAP "arena compaction / eviction").
+/// Validated at MonitoringCache construction.
+struct LifecycleConfig {
+  /// Evict paths whose last observed packet is at least `idle_ttl` before
+  /// the lifecycle pass's `now`.  Eviction drains the path's receipts
+  /// through the normal ReceiptSink path first (flush_open), then releases
+  /// its arena slices and receipt capacity — monitoring restarts from
+  /// scratch if the path revives.  Must be positive when `evict_idle`.
+  bool evict_idle = false;
+  net::Duration idle_ttl{0};
+  /// Compact the arenas at a lifecycle pass when garbage exceeds this
+  /// fraction of total arena bytes.  Must lie in [0, 1] — a watermark
+  /// above capacity could never fire.
+  double compact_garbage_fraction = 0.5;
+};
+
+/// What one lifecycle pass did (per-shard reports merge by addition).
+struct LifecycleReport {
+  std::size_t evicted_paths = 0;
+  /// Temp-buffer records discarded undecided by evictions.
+  std::size_t dropped_buffered_records = 0;
+  std::size_t compactions = 0;
+  std::size_t reclaimed_arena_bytes = 0;
+
+  LifecycleReport& operator+=(const LifecycleReport& o) noexcept {
+    evicted_paths += o.evicted_paths;
+    dropped_buffered_records += o.dropped_buffered_records;
+    compactions += o.compactions;
+    reclaimed_arena_bytes += o.reclaimed_arena_bytes;
+    return *this;
+  }
+};
+
 /// One HOP's full collector: classifier + per-path monitors + accounting.
 class MonitoringCache {
  public:
@@ -159,6 +193,7 @@ class MonitoringCache {
     net::HopId previous_hop = net::kNoHop;
     net::HopId next_hop = net::kNoHop;
     net::Duration max_diff = net::milliseconds(5);
+    LifecycleConfig lifecycle;
   };
 
   /// Creates per-path state for every path upfront (paths are learned from
@@ -196,6 +231,31 @@ class MonitoringCache {
   [[nodiscard]] std::vector<core::PathDrain> drain_all(
       bool flush_open = false);
 
+  // --- epoch lifecycle (control plane, alongside drains) ------------------
+
+  /// One lifecycle pass at local time `now`: evict paths idle beyond the
+  /// configured TTL (each drains begin_path/samples/aggregates(flush)/
+  /// end_path into `sink` first, in ascending path order), then compact
+  /// the arenas if garbage crossed the watermark.  A cache whose lifecycle
+  /// config disables eviction still compacts.
+  LifecycleReport run_lifecycle(net::Timestamp now, core::ReceiptSink& sink);
+
+  /// Evict `path` now if it holds state and has been idle at least
+  /// `idle_ttl` (no-op unless `evict_idle`).  Exposed so a sharded
+  /// collector can interleave per-shard evictions in global path order.
+  /// Returns {evicted, dropped-buffered-record count}.
+  struct EvictResult {
+    bool evicted = false;
+    std::size_t dropped_buffered = 0;
+  };
+  EvictResult evict_path_if_idle(std::size_t path, net::Timestamp now,
+                                 core::ReceiptSink& sink);
+
+  /// True when arena garbage exceeds the configured watermark fraction.
+  [[nodiscard]] bool compaction_due() const noexcept;
+  /// Unconditionally compact the arenas; returns bytes reclaimed.
+  std::size_t compact_arenas();
+
   [[nodiscard]] std::size_t path_count() const noexcept {
     return state_.path_count();
   }
@@ -203,6 +263,19 @@ class MonitoringCache {
     return unknown_;
   }
   [[nodiscard]] const DataPlaneOps& ops() const noexcept { return ops_; }
+
+  /// Arena accounting for the long-running-operation report: bytes any
+  /// live slice addresses vs relocation/eviction garbage.
+  [[nodiscard]] std::size_t arena_live_bytes() const noexcept {
+    return state_.arena_live_bytes();
+  }
+  [[nodiscard]] std::size_t arena_garbage_bytes() const noexcept {
+    return state_.arena_garbage_bytes();
+  }
+  /// Cumulative lifecycle work over the cache's lifetime.
+  [[nodiscard]] const LifecycleReport& lifecycle_totals() const noexcept {
+    return lifecycle_totals_;
+  }
 
   /// SRAM footprint of the open-receipt state: the ACTUAL contiguous
   /// hot-array bytes (paths x sizeof(core::PathHot)) — measured from the
@@ -241,6 +314,8 @@ class MonitoringCache {
   std::vector<net::PathId> path_ids_;
   DataPlaneOps ops_;
   std::uint64_t unknown_ = 0;
+  LifecycleConfig lifecycle_;
+  LifecycleReport lifecycle_totals_;
 };
 
 /// Bytes of open-receipt state per path in a hardware monitoring cache

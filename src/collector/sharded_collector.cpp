@@ -269,6 +269,98 @@ core::StreamingDrainMerge ShardedCollector::drain_stream(bool flush_open) {
   return core::StreamingDrainMerge(std::move(sources));
 }
 
+namespace {
+
+/// Forwards a shard-local eviction drain, rewriting begin_path's
+/// shard-local index to the shard's global index.
+class GlobalIndexSink final : public core::ReceiptSink {
+ public:
+  GlobalIndexSink(core::ReceiptSink& inner,
+                  const std::vector<std::size_t>& global_index)
+      : inner_(inner), global_index_(global_index) {}
+
+  void begin_path(std::size_t path_index, const net::PathId& id) override {
+    inner_.begin_path(global_index_[path_index], id);
+  }
+  void on_samples(core::SampleReceipt samples) override {
+    inner_.on_samples(std::move(samples));
+  }
+  void on_aggregate(core::AggregateReceipt aggregate) override {
+    inner_.on_aggregate(std::move(aggregate));
+  }
+  void end_path() override { inner_.end_path(); }
+
+ private:
+  core::ReceiptSink& inner_;
+  const std::vector<std::size_t>& global_index_;
+};
+
+}  // namespace
+
+LifecycleReport ShardedCollector::run_lifecycle(net::Timestamp now,
+                                                core::ReceiptSink& sink) {
+  if (running_) {
+    throw std::logic_error(
+        "ShardedCollector: run_lifecycle while workers run");
+  }
+  LifecycleReport report;
+  // Per-path eviction in ascending GLOBAL order (the drain-order
+  // contract), interleaving across shards.
+  for (std::size_t g = 0; g < path_location_.size(); ++g) {
+    const PathLocation loc = path_location_[g];
+    Shard& shard = shards_[loc.shard];
+    GlobalIndexSink remap(sink, shard.global_index);
+    const MonitoringCache::EvictResult r =
+        shard.cache->evict_path_if_idle(loc.local, now, remap);
+    if (r.evicted) {
+      ++report.evicted_paths;
+      report.dropped_buffered_records += r.dropped_buffered;
+    }
+  }
+  for (Shard& shard : shards_) {
+    if (shard.cache && shard.cache->compaction_due()) {
+      report.reclaimed_arena_bytes += shard.cache->compact_arenas();
+      ++report.compactions;
+    }
+  }
+  return report;
+}
+
+std::size_t ShardedCollector::arena_bytes() const {
+  if (running_) {
+    throw std::logic_error("ShardedCollector: arena_bytes while workers run");
+  }
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    if (s.cache) total += s.cache->state().arena_bytes();
+  }
+  return total;
+}
+
+std::size_t ShardedCollector::arena_live_bytes() const {
+  if (running_) {
+    throw std::logic_error(
+        "ShardedCollector: arena_live_bytes while workers run");
+  }
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    if (s.cache) total += s.cache->arena_live_bytes();
+  }
+  return total;
+}
+
+std::size_t ShardedCollector::arena_garbage_bytes() const {
+  if (running_) {
+    throw std::logic_error(
+        "ShardedCollector: arena_garbage_bytes while workers run");
+  }
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    if (s.cache) total += s.cache->arena_garbage_bytes();
+  }
+  return total;
+}
+
 DataPlaneOps ShardedCollector::ops() const {
   if (running_) {
     throw std::logic_error("ShardedCollector: ops() while workers run");

@@ -175,6 +175,20 @@ class ShardedCollector {
   [[nodiscard]] core::StreamingDrainMerge drain_stream(
       bool flush_open = false);
 
+  /// One epoch-lifecycle pass across every shard, in ascending GLOBAL
+  /// path order: each shard cache's idle paths are evicted (their drains
+  /// stream into `sink` with the global path index, same begin/.../end
+  /// contract as drain()), then each shard compacts if its garbage
+  /// crossed the watermark.  Throws std::logic_error if workers are
+  /// running.
+  LifecycleReport run_lifecycle(net::Timestamp now, core::ReceiptSink& sink);
+
+  /// Summed arena accounting across shard caches (workers must be
+  /// stopped, like drain).
+  [[nodiscard]] std::size_t arena_bytes() const;
+  [[nodiscard]] std::size_t arena_live_bytes() const;
+  [[nodiscard]] std::size_t arena_garbage_bytes() const;
+
   // --- stats (workers must be stopped, like drain) -----------------------
 
   [[nodiscard]] std::size_t shard_count() const noexcept {

@@ -78,13 +78,29 @@ namespace {
 /// patch_up with the inverted-boundary set precomputed (align_aggregates
 /// shares one computation between patch-up and the join; patching only
 /// rewrites packet counts, never boundary ids, so the set is valid for
-/// both).
-PatchupResult patch_up_with(
+/// both), decomposed per boundary so the incremental consumer can
+/// attribute migrations to a consumed prefix and carry the seam shift
+/// forward.  `down_carry` seeds down[0]'s delta (the shift owed by a
+/// previously consumed seam boundary).
+struct PatchupDecomposed {
+  std::vector<AggregateReceipt> down;  ///< counts adjusted (carry included)
+  /// Per down receipt j: migrations counted at the boundary CLOSING j,
+  /// and the signed packet shift INTO j at that boundary (the matching
+  /// -shift lands on j+1).  Zero for the final receipt.
+  std::vector<std::size_t> mig_at;
+  std::vector<std::int64_t> shift_at;
+  std::size_t migrations = 0;
+};
+
+PatchupDecomposed patch_up_decomposed(
     std::span<const AggregateReceipt> up,
     std::span<const AggregateReceipt> down,
-    const std::unordered_set<net::PacketDigest>& inverted) {
-  PatchupResult result;
+    const std::unordered_set<net::PacketDigest>& inverted,
+    std::int64_t down_carry) {
+  PatchupDecomposed result;
   result.down.assign(down.begin(), down.end());
+  result.mig_at.assign(down.size(), 0);
+  result.shift_at.assign(down.size(), 0);
 
   // Index upstream boundaries by cutting-packet id.  Boundaries whose
   // order swapped across the link ("inverted") are skipped: the
@@ -98,12 +114,6 @@ PatchupResult patch_up_with(
     if (b != 0) up_boundary.emplace(b, i);
   }
 
-  // Migrations are accumulated as signed deltas and applied once at the
-  // end: a packet reordered across several nearby boundaries migrates at
-  // each of them (chained +1/-1 on the aggregate between), and applying
-  // eagerly could drive a small aggregate's unsigned count through zero
-  // mid-pass, silently dropping the rest of its migrations.
-  std::vector<std::int64_t> delta(result.down.size(), 0);
   for (std::size_t j = 0; j + 1 < result.down.size(); ++j) {
     const net::PacketDigest b = boundary_of(down, j);
     if (b == 0 || inverted.contains(b)) continue;
@@ -123,41 +133,53 @@ PatchupResult patch_up_with(
     for (const net::PacketDigest id : down[j].trans.after) {
       if (id == b) continue;  // the cutting packet itself defines the cut
       if (up_before.contains(id)) {
-        ++delta[j];
-        --delta[j + 1];
+        ++result.shift_at[j];
+        ++result.mig_at[j];
         ++result.migrations;
       }
     }
     for (const net::PacketDigest id : down[j].trans.before) {
       if (up_after.contains(id)) {
-        --delta[j];
-        ++delta[j + 1];
+        --result.shift_at[j];
+        ++result.mig_at[j];
         ++result.migrations;
       }
     }
   }
+  // Migrations accumulate as signed deltas and apply once at the end: a
+  // packet reordered across several nearby boundaries migrates at each of
+  // them (chained +1/-1 on the aggregate between), and applying eagerly
+  // could drive a small aggregate's unsigned count through zero mid-pass,
+  // silently dropping the rest of its migrations.  delta[j] is the shift
+  // in at j's closing boundary minus the shift out at its opening one.
   for (std::size_t j = 0; j < result.down.size(); ++j) {
+    const std::int64_t delta =
+        result.shift_at[j] - (j == 0 ? -down_carry : result.shift_at[j - 1]);
     const auto count = static_cast<std::int64_t>(result.down[j].packet_count);
     // Honest receipts never go negative (the final count is a membership
     // count); clamp defensively against inconsistent/hostile input.
     result.down[j].packet_count =
-        static_cast<std::uint32_t>(std::max<std::int64_t>(0, count + delta[j]));
+        static_cast<std::uint32_t>(std::max<std::int64_t>(0, count + delta));
   }
   return result;
 }
 
-}  // namespace
-
-PatchupResult patch_up(std::span<const AggregateReceipt> up,
-                       std::span<const AggregateReceipt> down) {
-  return patch_up_with(up, down, boundary_sets(up, down).inverted);
-}
-
-AlignmentResult align_aggregates(std::span<const AggregateReceipt> up,
-                                 std::span<const AggregateReceipt> down,
-                                 bool apply_patchup) {
+/// align_aggregates plus the per-boundary patch-up decomposition and a
+/// down-side carry — the shared body of the batch and incremental entry
+/// points.
+struct AlignDecomposed {
   AlignmentResult result;
-  if (up.empty() || down.empty()) return result;
+  std::vector<std::size_t> mig_at;
+  std::vector<std::int64_t> shift_at;
+};
+
+AlignDecomposed align_decomposed(std::span<const AggregateReceipt> up,
+                                 std::span<const AggregateReceipt> down,
+                                 bool apply_patchup,
+                                 std::int64_t down_carry) {
+  AlignDecomposed out;
+  AlignmentResult& result = out.result;
+  if (up.empty() || down.empty()) return out;
 
   // Computed once, shared by patch-up and the boundary-match loop below
   // (patching rewrites packet counts only, never boundary ids): each
@@ -168,12 +190,21 @@ AlignmentResult align_aggregates(std::span<const AggregateReceipt> up,
   const std::unordered_set<net::PacketDigest>& down_cuts = sets.down_ids;
   const std::unordered_set<net::PacketDigest>& inverted = sets.inverted;
 
-  PatchupResult patched;
+  PatchupDecomposed patched;
   if (apply_patchup) {
-    patched = patch_up_with(up, down, inverted);
+    patched = patch_up_decomposed(up, down, inverted, down_carry);
     result.migrations = patched.migrations;
+    out.mig_at = std::move(patched.mig_at);
+    out.shift_at = std::move(patched.shift_at);
   } else {
+    // Only the batch align_aggregates wrapper disables patch-up, and it
+    // never carries a seam shift (the incremental entry points always
+    // patch): a carry without the shift bookkeeping would break the
+    // consumed-prefix invariant.
+    (void)down_carry;
     patched.down.assign(down.begin(), down.end());
+    out.mig_at.assign(down.size(), 0);
+    out.shift_at.assign(down.size(), 0);
   }
   const std::vector<AggregateReceipt>& d = patched.down;
 
@@ -246,7 +277,66 @@ AlignmentResult align_aggregates(std::span<const AggregateReceipt> up,
   }
   acc.boundary_id = 0;
   result.aligned.push_back(acc);
-  return result;
+  return out;
+}
+
+}  // namespace
+
+PatchupResult patch_up(std::span<const AggregateReceipt> up,
+                       std::span<const AggregateReceipt> down) {
+  PatchupDecomposed d = patch_up_decomposed(
+      up, down, boundary_sets(up, down).inverted, /*down_carry=*/0);
+  return PatchupResult{.down = std::move(d.down),
+                       .migrations = d.migrations};
+}
+
+AlignmentResult align_aggregates(std::span<const AggregateReceipt> up,
+                                 std::span<const AggregateReceipt> down,
+                                 bool apply_patchup) {
+  return align_decomposed(up, down, apply_patchup, /*down_carry=*/0).result;
+}
+
+AlignmentResult align_tail(const AggregateTail& tail) {
+  return align_decomposed(tail.up, tail.down, /*apply_patchup=*/true,
+                          tail.down_carry)
+      .result;
+}
+
+TailConsumeStats consume_aligned_prefix(AggregateTail& tail,
+                                        std::size_t margin_boundaries,
+                                        std::vector<AlignedAggregate>& out) {
+  TailConsumeStats stats;
+  if (tail.up.empty() || tail.down.empty()) return stats;
+
+  AlignDecomposed aligned = align_decomposed(
+      tail.up, tail.down, /*apply_patchup=*/true, tail.down_carry);
+  // Every group but the final (unbounded) one is closed by a matched
+  // boundary — the join emits groups only there.
+  const std::size_t matched = aligned.result.aligned.size() - 1;
+  if (matched <= margin_boundaries) return stats;
+  const std::size_t consume = matched - margin_boundaries;
+
+  std::size_t up_n = 0;
+  std::size_t down_n = 0;
+  for (std::size_t g = 0; g < consume; ++g) {
+    const AlignedAggregate& a = aligned.result.aligned[g];
+    up_n += a.up_receipts;
+    down_n += a.down_receipts;
+    out.push_back(a);
+  }
+  stats.groups = consume;
+  for (std::size_t j = 0; j < down_n; ++j) {
+    stats.migrations += aligned.mig_at[j];
+  }
+  // The seam boundary's migration shift was applied to the consumed
+  // neighbour in THIS run; its mirror image lands on the next tail
+  // alignment's first receipt.
+  tail.down_carry = -aligned.shift_at[down_n - 1];
+  tail.up.erase(tail.up.begin(),
+                tail.up.begin() + static_cast<std::ptrdiff_t>(up_n));
+  tail.down.erase(tail.down.begin(),
+                  tail.down.begin() + static_cast<std::ptrdiff_t>(down_n));
+  return stats;
 }
 
 }  // namespace vpm::core

@@ -52,6 +52,8 @@ struct AlignedAggregate {
     return static_cast<std::int64_t>(up_count) -
            static_cast<std::int64_t>(down_count);
   }
+  friend bool operator==(const AlignedAggregate&,
+                         const AlignedAggregate&) = default;
 };
 
 struct AlignmentResult {
@@ -81,6 +83,54 @@ struct PatchupResult {
 };
 [[nodiscard]] PatchupResult patch_up(std::span<const AggregateReceipt> up,
                                      std::span<const AggregateReceipt> down);
+
+// --- Incremental alignment (round-fed verifier support) -------------------
+//
+// A verifier ingesting reporting rounds for months cannot hold both HOPs'
+// full aggregate sequences.  It holds an AggregateTail instead: the raw
+// receipts not yet absorbed into finalized aligned output.  After each
+// round, consume_aligned_prefix() aligns the tails and consumes every
+// aligned group up to a stability margin of matched boundaries — the
+// alignment decisions in that prefix are final because align_aggregates'
+// scan is forward and its merge/inversion tests only consult boundary ids
+// in the consumed neighbourhood (receipts an honest peer ships within a
+// round or two; the margin absorbs the in-flight lag).  Consumed receipts
+// leave the tail, so resident state is O(retained window), not O(history),
+// and the concatenation  consumed groups ++ align_tail(tail).aligned  is
+// the alignment of the full sequences.
+
+struct AggregateTail {
+  std::vector<AggregateReceipt> up;
+  std::vector<AggregateReceipt> down;
+  /// Patch-up packets owed to down.front() by the migration at the last
+  /// consumed seam boundary (its matching shift was already applied to
+  /// the consumed neighbour).  Applied before every tail alignment.
+  std::int64_t down_carry = 0;
+
+  [[nodiscard]] std::size_t receipt_count() const noexcept {
+    return up.size() + down.size();
+  }
+};
+
+struct TailConsumeStats {
+  std::size_t groups = 0;      ///< aligned groups consumed
+  std::size_t migrations = 0;  ///< patch-up migrations attributed to them
+};
+
+/// Align `tail` and consume the stable prefix: every aligned group except
+/// the final (unbounded) one and the last `margin_boundaries`
+/// matched-boundary groups.  Consumed groups append to `out`; consumed
+/// receipts leave the tail and the seam migration shift rolls into
+/// `tail.down_carry`.  No-op while either side is empty or the matched
+/// count is within the margin.
+TailConsumeStats consume_aligned_prefix(AggregateTail& tail,
+                                        std::size_t margin_boundaries,
+                                        std::vector<AlignedAggregate>& out);
+
+/// Align the tail to completion WITHOUT consuming — the analyze-time view.
+/// `.migrations` counts only migrations at tail boundaries (add the
+/// consumed stats for the full-history figure).
+[[nodiscard]] AlignmentResult align_tail(const AggregateTail& tail);
 
 }  // namespace vpm::core
 

@@ -26,31 +26,78 @@ std::string to_string(InconsistencyKind k) {
   return "unknown";
 }
 
-namespace {
-
-struct Round {
-  net::PacketDigest marker_id = 0;
-  net::Timestamp marker_time;
-  // Non-marker records of the round, keyed by packet id.
-  std::unordered_map<net::PacketDigest, net::Timestamp> records;
-};
-
-std::vector<Round> split_rounds(const SampleReceipt& r) {
-  std::vector<Round> rounds;
-  Round current;
-  for (const SampleRecord& s : r.samples) {
+void SampleRoundSplitter::feed(std::span<const SampleRecord> records,
+                               FunctionRef<void(SampleRound&&)> on_round) {
+  for (const SampleRecord& s : records) {
     if (s.is_marker) {
-      current.marker_id = s.pkt_id;
-      current.marker_time = s.time;
-      rounds.push_back(std::move(current));
-      current = Round{};
+      current_.marker_id = s.pkt_id;
+      current_.marker_time = s.time;
+      on_round(std::move(current_));
+      current_ = SampleRound{};
     } else {
-      current.records.emplace(s.pkt_id, s.time);
+      current_.records.emplace(s.pkt_id, s.time);
     }
   }
+}
+
+void check_sample_round_pair(const SampleRound& ur, const SampleRound& dr,
+                             net::Duration max_diff,
+                             std::uint32_t up_sample_threshold,
+                             std::uint32_t down_sample_threshold,
+                             LinkSampleCheck& out) {
+  ++out.rounds_matched;
+
+  const auto check_pair = [&](net::PacketDigest id, net::Timestamp t_up,
+                              net::Timestamp t_down) {
+    ++out.common_samples;
+    const net::Duration diff = t_down - t_up;
+    out.link_delays_ms.push_back(diff.milliseconds());
+    if (diff > max_diff) {
+      out.violations.push_back(Inconsistency{InconsistencyKind::kDelayBound,
+                                             id,
+                                             (diff - max_diff).milliseconds()});
+    }
+  };
+
+  check_pair(ur.marker_id, ur.marker_time, dr.marker_time);
+
+  for (const auto& [id, t_up] : ur.records) {
+    const auto dit = dr.records.find(id);
+    if (dit != dr.records.end()) {
+      check_pair(id, t_up, dit->second);
+      continue;
+    }
+    // Should the downstream HOP have sampled it?  Its disclosed sigma
+    // tells us (subset property, §5.2).
+    if (net::DigestEngine::sample_value(id, ur.marker_id) >
+        down_sample_threshold) {
+      out.violations.push_back(Inconsistency{
+          InconsistencyKind::kMissingDownstream, id, 0.0});
+    }
+  }
+  for (const auto& [id, t_down] : dr.records) {
+    if (ur.records.contains(id)) continue;
+    if (net::DigestEngine::sample_value(id, dr.marker_id) >
+        up_sample_threshold) {
+      // The upstream HOP should have sampled this packet yet claims it
+      // never saw it — packets cannot materialise on a link.
+      out.violations.push_back(
+          Inconsistency{InconsistencyKind::kMissingUpstream, id, 0.0});
+    }
+  }
+}
+
+namespace {
+
+std::vector<SampleRound> split_rounds(const SampleReceipt& r) {
+  std::vector<SampleRound> rounds;
+  SampleRoundSplitter splitter;
+  splitter.feed(r.samples,
+                [&](SampleRound&& round) { rounds.push_back(std::move(round)); });
   // Records after the last marker have undecided fate upstream/downstream
-  // pairing-wise; Algorithm 1 never emits them, so `current` is empty for
-  // honest receipts and silently dropped for tampered ones.
+  // pairing-wise; Algorithm 1 never emits them, so the splitter's pending
+  // round is empty for honest receipts and silently dropped for tampered
+  // ones.
   return rounds;
 }
 
@@ -67,27 +114,15 @@ LinkSampleCheck check_link_samples(const SampleReceipt& up,
   }
   const net::Duration max_diff = up.path.max_diff;
 
-  const std::vector<Round> up_rounds = split_rounds(up);
-  const std::vector<Round> down_rounds = split_rounds(down);
+  const std::vector<SampleRound> up_rounds = split_rounds(up);
+  const std::vector<SampleRound> down_rounds = split_rounds(down);
   std::unordered_map<net::PacketDigest, std::size_t> down_by_marker;
   down_by_marker.reserve(down_rounds.size() * 2);
   for (std::size_t i = 0; i < down_rounds.size(); ++i) {
     down_by_marker.emplace(down_rounds[i].marker_id, i);
   }
 
-  auto check_pair = [&](net::PacketDigest id, net::Timestamp t_up,
-                        net::Timestamp t_down) {
-    ++out.common_samples;
-    const net::Duration diff = t_down - t_up;
-    out.link_delays_ms.push_back(diff.milliseconds());
-    if (diff > max_diff) {
-      out.violations.push_back(Inconsistency{InconsistencyKind::kDelayBound,
-                                             id,
-                                             (diff - max_diff).milliseconds()});
-    }
-  };
-
-  for (const Round& ur : up_rounds) {
+  for (const SampleRound& ur : up_rounds) {
     const auto it = down_by_marker.find(ur.marker_id);
     if (it == down_by_marker.end()) {
       // Section 5.3: markers are always sampled and reported, so a marker
@@ -97,37 +132,22 @@ LinkSampleCheck check_link_samples(const SampleReceipt& up,
           Inconsistency{InconsistencyKind::kMarkerMissing, ur.marker_id, 0.0});
       continue;
     }
-    const Round& dr = down_rounds[it->second];
-    ++out.rounds_matched;
-
-    check_pair(ur.marker_id, ur.marker_time, dr.marker_time);
-
-    for (const auto& [id, t_up] : ur.records) {
-      const auto dit = dr.records.find(id);
-      if (dit != dr.records.end()) {
-        check_pair(id, t_up, dit->second);
-        continue;
-      }
-      // Should the downstream HOP have sampled it?  Its disclosed sigma
-      // tells us (subset property, §5.2).
-      if (net::DigestEngine::sample_value(id, ur.marker_id) >
-          down.sample_threshold) {
-        out.violations.push_back(Inconsistency{
-            InconsistencyKind::kMissingDownstream, id, 0.0});
-      }
-    }
-    for (const auto& [id, t_down] : dr.records) {
-      if (ur.records.contains(id)) continue;
-      if (net::DigestEngine::sample_value(id, dr.marker_id) >
-          up.sample_threshold) {
-        // The upstream HOP should have sampled this packet yet claims it
-        // never saw it — packets cannot materialise on a link.
-        out.violations.push_back(
-            Inconsistency{InconsistencyKind::kMissingUpstream, id, 0.0});
-      }
-    }
+    check_sample_round_pair(ur, down_rounds[it->second], max_diff,
+                            up.sample_threshold, down.sample_threshold, out);
   }
   return out;
+}
+
+void check_aligned_counts(const AlignedAggregate& a,
+                          std::vector<Inconsistency>& out) {
+  const std::int64_t delta = a.lost();
+  if (delta > 0) {
+    out.push_back(Inconsistency{InconsistencyKind::kCountMismatch,
+                                a.boundary_id, static_cast<double>(delta)});
+  } else if (delta < 0) {
+    out.push_back(Inconsistency{InconsistencyKind::kNegativeLoss,
+                                a.boundary_id, static_cast<double>(-delta)});
+  }
 }
 
 LinkAggregateCheck check_link_aggregates(
@@ -137,16 +157,7 @@ LinkAggregateCheck check_link_aggregates(
   const AlignmentResult aligned = align_aggregates(up, down, true);
   out.aggregates_checked = aligned.aligned.size();
   for (const AlignedAggregate& a : aligned.aligned) {
-    const std::int64_t delta = a.lost();
-    if (delta > 0) {
-      out.violations.push_back(
-          Inconsistency{InconsistencyKind::kCountMismatch, a.boundary_id,
-                        static_cast<double>(delta)});
-    } else if (delta < 0) {
-      out.violations.push_back(
-          Inconsistency{InconsistencyKind::kNegativeLoss, a.boundary_id,
-                        static_cast<double>(-delta)});
-    }
+    check_aligned_counts(a, out.violations);
   }
   return out;
 }

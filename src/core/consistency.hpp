@@ -22,10 +22,13 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/alignment.hpp"
+#include "core/function_ref.hpp"
 #include "core/receipt.hpp"
+#include "net/time.hpp"
 
 namespace vpm::core {
 
@@ -45,6 +48,9 @@ struct Inconsistency {
   InconsistencyKind kind;
   net::PacketDigest pkt_id = 0;  ///< offending packet (0 for aggregates)
   double magnitude = 0.0;        ///< ms over bound, or packet-count delta
+
+  friend bool operator==(const Inconsistency&,
+                         const Inconsistency&) = default;
 };
 
 struct LinkSampleCheck {
@@ -57,6 +63,9 @@ struct LinkSampleCheck {
   /// Cross-link residence times (ms) of commonly sampled packets — used
   /// to monitor the link itself.
   std::vector<double> link_delays_ms;
+
+  friend bool operator==(const LinkSampleCheck&,
+                         const LinkSampleCheck&) = default;
 };
 
 /// Check two sample receipts across one inter-domain link.  `up` is the
@@ -70,6 +79,8 @@ struct LinkAggregateCheck {
   [[nodiscard]] bool consistent() const noexcept {
     return violations.empty();
   }
+  friend bool operator==(const LinkAggregateCheck&,
+                         const LinkAggregateCheck&) = default;
 };
 
 /// Check aggregate receipts across one link: after alignment/patch-up,
@@ -78,6 +89,59 @@ struct LinkAggregateCheck {
 [[nodiscard]] LinkAggregateCheck check_link_aggregates(
     std::span<const AggregateReceipt> up,
     std::span<const AggregateReceipt> down);
+
+// --- Round-fed consistency (incremental verifier support) -----------------
+//
+// check_link_samples works round by round: markers delimit sampling rounds
+// and matching rounds pair by marker id.  The pieces below are its loop
+// body and splitter, exposed so a round-fed verifier can run the SAME
+// checks incrementally — pairing rounds as they arrive and retiring them —
+// instead of materializing both HOPs' full sample streams.
+
+/// One marker-delimited sampling round (markers are always sampled, §5.3).
+struct SampleRound {
+  net::PacketDigest marker_id = 0;
+  net::Timestamp marker_time;
+  /// Non-marker records of the round, keyed by packet id.
+  std::unordered_map<net::PacketDigest, net::Timestamp> records;
+};
+
+/// Splits a sample stream into rounds across multiple feeds: records
+/// accumulate into the open round until a marker completes it.  A round
+/// straddling two reporting drains reassembles exactly as it would in the
+/// concatenated receipt.  Records after the last marker stay pending
+/// (their pairing fate is undecided) — for honest receipts Algorithm 1
+/// never emits trailing records, so a finished stream leaves nothing.
+class SampleRoundSplitter {
+ public:
+  /// Feed the next slice of the stream; completed rounds are handed to
+  /// `on_round` in stream order.
+  void feed(std::span<const SampleRecord> records,
+            FunctionRef<void(SampleRound&&)> on_round);
+
+  [[nodiscard]] const SampleRound& pending() const noexcept {
+    return current_;
+  }
+
+ private:
+  SampleRound current_;
+};
+
+/// Check one matched (up, down) round pair — the loop body of
+/// check_link_samples.  `max_diff` is the upstream HOP's disclosed bound
+/// (Eq. 1 made them agree); the sigmas are the two HOPs' disclosed sample
+/// thresholds for the omission checks (§5.2/§5.3).  Accumulates matches,
+/// link delays and violations into `out` (rounds_matched included).
+void check_sample_round_pair(const SampleRound& up, const SampleRound& down,
+                             net::Duration max_diff,
+                             std::uint32_t up_sample_threshold,
+                             std::uint32_t down_sample_threshold,
+                             LinkSampleCheck& out);
+
+/// The per-joined-aggregate count rule of check_link_aggregates: appends
+/// the violation for one aligned aggregate, if any.
+void check_aligned_counts(const AlignedAggregate& a,
+                          std::vector<Inconsistency>& out);
 
 }  // namespace vpm::core
 

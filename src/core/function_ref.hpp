@@ -1,0 +1,53 @@
+// A lightweight non-owning callable reference: one data pointer plus one
+// function pointer, no allocation, no type-erasure vtable.
+//
+// std::function on a hot path (ReceiptStore::for_each_payload sits on the
+// wire-import path, invoked once per stored chunk) pays for ownership the
+// caller never needs: the visitor always outlives the call.  FunctionRef
+// is the classic borrowed alternative (the shape of C++26's
+// std::function_ref): callers pass any callable by reference; the callee
+// must not store it beyond the call.
+#ifndef VPM_CORE_FUNCTION_REF_HPP
+#define VPM_CORE_FUNCTION_REF_HPP
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace vpm::core {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds to any callable invocable as R(Args...).  Non-owning: the
+  /// referenced callable must outlive every call through this reference
+  /// (passing a lambda directly at the call site is always safe).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return std::invoke(
+              *static_cast<std::remove_reference_t<F>*>(obj),
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace vpm::core
+
+#endif  // VPM_CORE_FUNCTION_REF_HPP

@@ -1,0 +1,327 @@
+#include "core/incremental_verifier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "stats/quantile.hpp"
+
+namespace vpm::core {
+
+IncrementalPathVerifier::IncrementalPathVerifier(Config cfg)
+    : cfg_(std::move(cfg)) {
+  const PathLayout& layout = cfg_.layout;
+  if (layout.hops.size() != layout.domain_of.size()) {
+    throw std::invalid_argument(
+        "IncrementalPathVerifier: layout hops/domains size mismatch");
+  }
+  if (cfg_.retain_rounds == 0) {
+    throw std::invalid_argument(
+        "IncrementalPathVerifier: retain_rounds must be >= 1");
+  }
+  for (std::size_t i = 0; i + 1 < layout.hops.size(); ++i) {
+    Pair p;
+    p.is_domain = layout.domain_of[i] == layout.domain_of[i + 1];
+    p.up_pos = i;
+    p.down_pos = i + 1;
+    pairs_.push_back(std::move(p));
+  }
+}
+
+std::uint64_t IncrementalPathVerifier::rounds_ingested(net::HopId hop) const {
+  const auto it = rounds_.find(hop);
+  return it == rounds_.end() ? 0 : it->second;
+}
+
+std::uint64_t IncrementalPathVerifier::pair_clock(const Pair& p) const {
+  return std::max(rounds_ingested(cfg_.layout.hops[p.up_pos]),
+                  rounds_ingested(cfg_.layout.hops[p.down_pos]));
+}
+
+void IncrementalPathVerifier::add_round(net::HopId hop, PathDrain round) {
+  const std::vector<net::HopId>& hops = cfg_.layout.hops;
+  if (std::find(hops.begin(), hops.end(), hop) == hops.end()) {
+    throw std::invalid_argument(
+        "IncrementalPathVerifier: HOP not in layout: " + std::to_string(hop));
+  }
+  ++rounds_[hop];
+  HopInfo& info = hop_info_[hop];
+  if (!info.seen) {
+    info.seen = true;
+    info.max_diff = round.samples.path.max_diff;
+    info.sample_threshold = round.samples.sample_threshold;
+  }
+
+  for (Pair& p : pairs_) {
+    const bool as_up = hops[p.up_pos] == hop;
+    const bool as_down = hops[p.down_pos] == hop;
+    if (!as_up && !as_down) continue;
+    if (as_up) {
+      p.is_domain ? feed_domain(p, true, round) : feed_link(p, true, round);
+    }
+    if (as_down) {
+      p.is_domain ? feed_domain(p, false, round)
+                  : feed_link(p, false, round);
+    }
+    settle_pair(p);
+  }
+}
+
+void IncrementalPathVerifier::feed_domain(Pair& p, bool is_up,
+                                          const PathDrain& round) {
+  const std::uint64_t clock = pair_clock(p);
+  if (is_up) {
+    // Ingress side: remember every sampled packet's time (markers
+    // included — the batch matcher indexes them too; first record wins on
+    // a digest collision, as emplace does there).
+    for (const SampleRecord& s : round.samples.samples) {
+      p.delay.ingress_times.emplace(s.pkt_id,
+                                    DelayState::Entry{s.time, clock});
+    }
+    p.loss.tail.up.insert(p.loss.tail.up.end(), round.aggregates.begin(),
+                          round.aggregates.end());
+  } else {
+    // Egress side: a packet reaches the egress HOP after the ingress one
+    // and markers sweep it there no earlier, so its ingress record is
+    // already here (feed upstream HOPs first within a reporting round).
+    for (const SampleRecord& s : round.samples.samples) {
+      const auto it = p.delay.ingress_times.find(s.pkt_id);
+      if (it == p.delay.ingress_times.end()) continue;
+      it->second.matched = true;
+      p.delay.delays.push_back((s.time - it->second.time).milliseconds());
+    }
+    p.loss.tail.down.insert(p.loss.tail.down.end(), round.aggregates.begin(),
+                            round.aggregates.end());
+  }
+}
+
+void IncrementalPathVerifier::feed_link(Pair& p, bool is_up,
+                                        const PathDrain& round) {
+  const std::uint64_t clock = pair_clock(p);
+  LinkSamplesState& ls = p.link_samples;
+  if (is_up) {
+    ls.up_splitter.feed(round.samples.samples, [&](SampleRound&& r) {
+      ls.pending_up.push_back(
+          LinkSamplesState::Stamped{std::move(r), clock});
+    });
+    p.link_aggregates.tail.up.insert(p.link_aggregates.tail.up.end(),
+                                     round.aggregates.begin(),
+                                     round.aggregates.end());
+  } else {
+    ls.down_splitter.feed(round.samples.samples, [&](SampleRound&& r) {
+      const net::PacketDigest marker = r.marker_id;
+      ls.down_by_marker.emplace(
+          marker, LinkSamplesState::Stamped{std::move(r), clock});
+    });
+    p.link_aggregates.tail.down.insert(p.link_aggregates.tail.down.end(),
+                                       round.aggregates.begin(),
+                                       round.aggregates.end());
+  }
+}
+
+void IncrementalPathVerifier::settle_pair(Pair& p) {
+  const std::uint64_t clock = pair_clock(p);
+  const auto expired = [&](std::uint64_t seen) {
+    return clock > seen && clock - seen > cfg_.retain_rounds;
+  };
+
+  if (p.is_domain) {
+    // Finalize aligned aggregates past the stability margin.
+    const TailConsumeStats consumed = consume_aligned_prefix(
+        p.loss.tail, cfg_.margin_boundaries, p.loss.groups);
+    p.loss.consumed_migrations += consumed.migrations;
+    // Expire ingress sample entries past retention (matched entries must
+    // linger the same window: a later duplicate egress sample matches
+    // again in the batch semantics).
+    auto& map = p.delay.ingress_times;
+    for (auto it = map.begin(); it != map.end();) {
+      if (expired(it->second.round)) {
+        if (!it->second.matched) ++p.delay.expired;
+        it = map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return;
+  }
+
+  LinkSamplesState& ls = p.link_samples;
+  const HopInfo& up_info = hop_info_[cfg_.layout.hops[p.up_pos]];
+  const HopInfo& down_info = hop_info_[cfg_.layout.hops[p.down_pos]];
+  // Resolve pending upstream rounds strictly FIFO — the batch check walks
+  // upstream rounds in stream order, so a blocked head must stall its
+  // successors to keep the accumulated output identical.
+  while (!ls.pending_up.empty()) {
+    LinkSamplesState::Stamped& head = ls.pending_up.front();
+    const auto match = ls.down_by_marker.find(head.round.marker_id);
+    if (match != ls.down_by_marker.end()) {
+      check_sample_round_pair(head.round, match->second.round,
+                              up_info.max_diff, up_info.sample_threshold,
+                              down_info.sample_threshold, ls.accumulated);
+      ls.down_by_marker.erase(match);
+      ls.pending_up.pop_front();
+      continue;
+    }
+    if (!expired(head.seen)) break;
+    // §5.3: a marker the upstream HOP delivered that the downstream HOP
+    // has not reported within the retention window is a link loss or a
+    // lie — the same verdict the batch check reaches over full streams.
+    // Still counted as a retention expiry: a LATER-than-window downstream
+    // round would have matched in the batch check.
+    ls.accumulated.violations.push_back(Inconsistency{
+        InconsistencyKind::kMarkerMissing, head.round.marker_id, 0.0});
+    ++ls.expired;
+    ls.pending_up.pop_front();
+  }
+  // Downstream rounds nobody claimed: the batch check silently ignores
+  // them; drop past retention to bound the map.
+  for (auto it = ls.down_by_marker.begin(); it != ls.down_by_marker.end();) {
+    if (expired(it->second.seen)) {
+      it = ls.down_by_marker.erase(it);
+      ++ls.expired;
+    } else {
+      ++it;
+    }
+  }
+
+  std::vector<AlignedAggregate> fresh;
+  (void)consume_aligned_prefix(p.link_aggregates.tail,
+                               cfg_.margin_boundaries, fresh);
+  p.link_aggregates.checked += fresh.size();
+  for (const AlignedAggregate& g : fresh) {
+    check_aligned_counts(g, p.link_aggregates.violations);
+  }
+}
+
+PathAnalysis IncrementalPathVerifier::analyze() const {
+  const PathLayout& layout = cfg_.layout;
+  PathAnalysis analysis;
+
+  for (const Pair& p : pairs_) {
+    const net::HopId a = layout.hops[p.up_pos];
+    const net::HopId b = layout.hops[p.down_pos];
+    const bool have_both = rounds_ingested(a) > 0 && rounds_ingested(b) > 0;
+
+    if (p.is_domain) {
+      DomainFinding f;
+      f.domain = layout.domain_of[p.up_pos];
+      f.ingress = a;
+      f.egress = b;
+      if (have_both) {
+        f.delay.sample_delays_ms = p.delay.delays;
+        f.delay.common_samples = p.delay.delays.size();
+        if (f.delay.common_samples > 0) {
+          stats::QuantileEstimator estimator;
+          estimator.add_all(f.delay.sample_delays_ms);
+          f.delay.quantiles =
+              estimator.estimate_many(stats::kDelayQuantiles, 0.95);
+        }
+
+        const AlignmentResult tail = align_tail(p.loss.tail);
+        f.loss.details.reserve(p.loss.groups.size() + tail.aligned.size());
+        f.loss.details = p.loss.groups;
+        f.loss.details.insert(f.loss.details.end(), tail.aligned.begin(),
+                              tail.aligned.end());
+        f.loss.joined_aggregates = f.loss.details.size();
+        f.loss.patchup_migrations =
+            p.loss.consumed_migrations + tail.migrations;
+        double total_s = 0.0;
+        for (const AlignedAggregate& g : f.loss.details) {
+          f.loss.offered += g.up_count;
+          f.loss.delivered += g.down_count;
+          const double s = g.duration_s();
+          total_s += s;
+          if (s > f.loss.max_granularity_s) f.loss.max_granularity_s = s;
+        }
+        if (!f.loss.details.empty()) {
+          f.loss.mean_granularity_s =
+              total_s / static_cast<double>(f.loss.details.size());
+        }
+      }
+      analysis.domains.push_back(std::move(f));
+      continue;
+    }
+
+    LinkFinding f;
+    f.upstream_domain = layout.domain_of[p.up_pos];
+    f.downstream_domain = layout.domain_of[p.down_pos];
+    f.upstream_hop = a;
+    f.downstream_hop = b;
+    if (have_both) {
+      const auto up_it = hop_info_.find(a);
+      const auto down_it = hop_info_.find(b);
+      const HopInfo& up_info = up_it->second;
+      const HopInfo& down_info = down_it->second;
+
+      LinkSampleCheck samples;
+      // Batch order: the Eq.-1 MaxDiff verdict first, then per-round
+      // output in upstream stream order (the finalized rounds, then the
+      // still-pending ones resolved against everything seen so far).
+      if (up_info.max_diff != down_info.max_diff) {
+        samples.violations.push_back(Inconsistency{
+            InconsistencyKind::kMaxDiffMismatch, 0,
+            (up_info.max_diff - down_info.max_diff).milliseconds()});
+      }
+      const LinkSamplesState& ls = p.link_samples;
+      samples.rounds_matched = ls.accumulated.rounds_matched;
+      samples.common_samples = ls.accumulated.common_samples;
+      samples.link_delays_ms = ls.accumulated.link_delays_ms;
+      samples.violations.insert(samples.violations.end(),
+                                ls.accumulated.violations.begin(),
+                                ls.accumulated.violations.end());
+      // Match-once semantics without copying the pending rounds: a
+      // consumed-marker set stands in for the settle-time erase.
+      std::unordered_set<net::PacketDigest> consumed;
+      for (const LinkSamplesState::Stamped& pending : ls.pending_up) {
+        const auto match = ls.down_by_marker.find(pending.round.marker_id);
+        if (match == ls.down_by_marker.end() ||
+            consumed.contains(pending.round.marker_id)) {
+          samples.violations.push_back(Inconsistency{
+              InconsistencyKind::kMarkerMissing, pending.round.marker_id,
+              0.0});
+          continue;
+        }
+        check_sample_round_pair(pending.round, match->second.round,
+                                up_info.max_diff, up_info.sample_threshold,
+                                down_info.sample_threshold, samples);
+        consumed.insert(pending.round.marker_id);
+      }
+      f.report.samples = std::move(samples);
+
+      LinkAggregateCheck aggregates;
+      const AlignmentResult tail = align_tail(p.link_aggregates.tail);
+      aggregates.aggregates_checked =
+          p.link_aggregates.checked + tail.aligned.size();
+      aggregates.violations = p.link_aggregates.violations;
+      for (const AlignedAggregate& g : tail.aligned) {
+        check_aligned_counts(g, aggregates.violations);
+      }
+      f.report.aggregates = std::move(aggregates);
+    }
+    analysis.links.push_back(std::move(f));
+  }
+  return analysis;
+}
+
+IncrementalPathVerifier::ResidentStats
+IncrementalPathVerifier::resident_stats() const {
+  ResidentStats out;
+  for (const Pair& p : pairs_) {
+    if (p.is_domain) {
+      out.pending_ingress_samples += p.delay.ingress_times.size();
+      out.retained_delays += p.delay.delays.size();
+      out.tail_aggregate_receipts += p.loss.tail.receipt_count();
+      out.retained_aligned_groups += p.loss.groups.size();
+      out.expired_unmatched += p.delay.expired;
+    } else {
+      out.pending_sample_rounds += p.link_samples.pending_up.size() +
+                                   p.link_samples.down_by_marker.size();
+      out.tail_aggregate_receipts += p.link_aggregates.tail.receipt_count();
+      out.expired_unmatched += p.link_samples.expired;
+    }
+  }
+  return out;
+}
+
+}  // namespace vpm::core

@@ -260,6 +260,65 @@ std::optional<AggregateData> path_flush_open(PathStateSoA& s,
   return d;
 }
 
+std::size_t path_evict(PathStateSoA& s, std::size_t path) {
+  PathSlot& slot = s.slots[path];
+  const std::size_t dropped = slot.hot.buf_size;
+  s.stats[path].dropped_buffered += dropped;
+  slot.hot = PathHot{};
+  // Preserve the lifetime window_peak (a §7.1 reporting figure); reset the
+  // arena addressing so the path owns no slice.
+  const std::uint32_t peak = slot.warm.window_peak;
+  slot.warm = PathWarm{};
+  slot.warm.window_peak = peak;
+  // The cold vectors are drained by the caller; swap-release their
+  // capacity so an evicted path holds no heap at all.
+  std::vector<SampleRecord>{}.swap(s.emitted[path]);
+  std::vector<PendingAggregate>{}.swap(s.pending[path]);
+  std::vector<AggregateData>{}.swap(s.closed[path]);
+  return dropped;
+}
+
+std::size_t path_state_compact(PathStateSoA& s) {
+  const std::size_t before = s.arena_bytes();
+
+  std::size_t buf_records = 0;
+  std::size_t ring_records = 0;
+  for (const PathSlot& slot : s.slots) {
+    buf_records += slot.warm.buf_cap;
+    ring_records += slot.warm.ring_cap;
+  }
+  std::vector<TimedDigest> buf(buf_records);
+  std::vector<TimedDigest> ring(ring_records);
+
+  std::size_t buf_at = 0;
+  std::size_t ring_at = 0;
+  for (PathSlot& slot : s.slots) {
+    if (slot.warm.buf_cap != 0) {
+      std::copy_n(s.buf_arena.begin() + slot.warm.buf_begin,
+                  slot.hot.buf_size,
+                  buf.begin() + static_cast<std::ptrdiff_t>(buf_at));
+      slot.warm.buf_begin = static_cast<std::uint32_t>(buf_at);
+      buf_at += slot.warm.buf_cap;
+    }
+    if (slot.warm.ring_cap != 0) {
+      // Linearise: entries move to [0, ring_size), head resets — the same
+      // transformation grow_ring applies, so this is receipt-invisible.
+      const std::uint32_t mask = slot.warm.ring_cap - 1;
+      for (std::uint32_t i = 0; i < slot.hot.ring_size; ++i) {
+        ring[ring_at + i] =
+            s.ring_arena[slot.warm.ring_begin +
+                         ((slot.hot.ring_head + i) & mask)];
+      }
+      slot.warm.ring_begin = static_cast<std::uint32_t>(ring_at);
+      slot.hot.ring_head = 0;
+      ring_at += slot.warm.ring_cap;
+    }
+  }
+  s.buf_arena = std::move(buf);
+  s.ring_arena = std::move(ring);
+  return before - s.arena_bytes();
+}
+
 SampleReceipt path_collect_samples(PathStateSoA& s, std::size_t path,
                                    const net::PathId& id) {
   SampleReceipt r;

@@ -117,6 +117,10 @@ struct PathStats {
   std::uint64_t swept = 0;     ///< buffered records evaluated at markers
   std::uint64_t cuts = 0;      ///< Algorithm 2 cutting points seen
   std::uint64_t buffer_peak = 0;  ///< max pre-sweep temp-buffer size
+  /// Temp-buffer records discarded undecided by TTL eviction (their fate
+  /// was never resolved by a marker) — keeps the observed-packet
+  /// derivation honest across evictions.
+  std::uint64_t dropped_buffered = 0;
 };
 
 /// A closed aggregate before PathId stamping (the HopMonitor /
@@ -178,6 +182,21 @@ struct PathStateSoA {
   [[nodiscard]] std::size_t arena_bytes() const noexcept {
     return (buf_arena.size() + ring_arena.size()) * sizeof(TimedDigest);
   }
+  /// Arena bytes addressed by some path's live slice (its reserved
+  /// capacity) — what compaction retains.
+  [[nodiscard]] std::size_t arena_live_bytes() const noexcept {
+    std::size_t records = 0;
+    for (const PathSlot& s : slots) {
+      records += s.warm.buf_cap;
+      records += s.warm.ring_cap;
+    }
+    return records * sizeof(TimedDigest);
+  }
+  /// Arena bytes no slice addresses any more (grow-by-relocation leftovers
+  /// and evicted paths' slices) — what compaction reclaims.
+  [[nodiscard]] std::size_t arena_garbage_bytes() const noexcept {
+    return arena_bytes() - arena_live_bytes();
+  }
   /// Records currently awaiting a marker, across all paths.
   [[nodiscard]] std::size_t buffered_records() const noexcept {
     std::size_t n = 0;
@@ -199,12 +218,51 @@ struct PathStateSoA {
                                  slots[path].hot.buf_size);
   }
   /// One path's observed-packet count, reconstructed from marker-time
-  /// counters (every packet is either buffered or a marker).
+  /// counters (every packet is either buffered, a marker, or was dropped
+  /// undecided by an eviction).
   [[nodiscard]] std::uint64_t path_observed_packets(std::size_t path) const {
     return stats[path].swept + stats[path].markers +
-           slots[path].hot.buf_size;
+           stats[path].dropped_buffered + slots[path].hot.buf_size;
+  }
+  /// True if the path owns any resident monitoring state — arena slices,
+  /// an open aggregate, or undrained receipts.  (A path that never saw
+  /// traffic, or was evicted and stayed idle, holds nothing.)
+  [[nodiscard]] bool path_has_state(std::size_t path) const {
+    const PathSlot& s = slots[path];
+    return s.warm.buf_cap != 0 || s.warm.ring_cap != 0 ||
+           s.hot.agg_count != 0 || s.warm.pend_count != 0 ||
+           !emitted[path].empty() || !closed[path].empty();
   }
 };
+
+// --- Epoch lifecycle (compaction + eviction) ------------------------------
+//
+// The arenas grow by slice relocation and, without intervention, never
+// shrink: garbage stays bounded below live capacity, but "live capacity"
+// includes every path that EVER saw traffic.  For month-long runs with a
+// churning path population the control plane retires state in two steps:
+// evict paths idle beyond a TTL (the cache drains their receipts through
+// the normal sink path first), then compact the arenas when relocation +
+// eviction garbage crosses a watermark.
+
+/// Release path `path`'s resident state: arena slices become garbage
+/// (reclaimed by the next compaction), the hot/warm records reset to the
+/// never-saw-traffic state, and the cold receipt vectors release their
+/// capacity.  Returns the number of temp-buffer records dropped undecided
+/// (also accumulated into stats[path].dropped_buffered).
+///
+/// PRECONDITION: the caller has drained the path's receipts (samples +
+/// aggregates with flush_open) — this is storage-level reclamation and
+/// silently discards anything still pending.  Cumulative PathStats
+/// survive.  A revived path regrows slices lazily, exactly like a path
+/// seeing its first packet.
+std::size_t path_evict(PathStateSoA& s, std::size_t path);
+
+/// Rebuild both arenas tightly in path order, dropping all garbage while
+/// preserving each slice's reserved capacity (so growth stays amortised
+/// O(1)) and linearising rings (head -> 0, as slice growth already does).
+/// Receipt-invisible.  Returns the arena bytes reclaimed.
+std::size_t path_state_compact(PathStateSoA& s);
 
 // --- Per-packet kernels ---------------------------------------------------
 //

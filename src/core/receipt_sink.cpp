@@ -51,4 +51,44 @@ void VectorSink::end_path() {
   open_ = false;
 }
 
+DrainRoundSink::DrainRoundSink(Consumer consumer)
+    : consumer_(std::move(consumer)) {
+  if (!consumer_) {
+    throw std::invalid_argument("DrainRoundSink: null consumer");
+  }
+}
+
+void DrainRoundSink::begin_path(std::size_t path_index,
+                                const net::PathId& id) {
+  if (open_) {
+    throw std::logic_error("DrainRoundSink: begin_path without end_path");
+  }
+  open_ = true;
+  index_ = path_index;
+  id_ = id;
+  current_ = PathDrain{};
+}
+
+void DrainRoundSink::on_samples(SampleReceipt samples) {
+  if (!open_) {
+    throw std::logic_error("DrainRoundSink: on_samples outside a path");
+  }
+  current_.samples = std::move(samples);
+}
+
+void DrainRoundSink::on_aggregate(AggregateReceipt aggregate) {
+  if (!open_) {
+    throw std::logic_error("DrainRoundSink: on_aggregate outside a path");
+  }
+  current_.aggregates.push_back(std::move(aggregate));
+}
+
+void DrainRoundSink::end_path() {
+  if (!open_) {
+    throw std::logic_error("DrainRoundSink: end_path without begin_path");
+  }
+  open_ = false;
+  consumer_(index_, id_, std::move(current_));
+}
+
 }  // namespace vpm::core

@@ -26,6 +26,7 @@
 #define VPM_CORE_RECEIPT_SINK_HPP
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "core/receipt.hpp"
@@ -80,6 +81,33 @@ class VectorSink final : public ReceiptSink {
 
  private:
   std::vector<IndexedPathDrain> stream_;
+  bool open_ = false;
+};
+
+/// Invokes a callback with each COMPLETED (path_index, id, drain) group of
+/// a sink stream, holding only one path's drain resident — the round-fed
+/// verifier's ingest adapter.  WireImporter streams a producer's periodic
+/// reporting rounds as repeated begin/.../end groups; routing each group
+/// to IncrementalPathVerifier::add_round as it completes keeps import
+/// memory constant in both path count and round count.
+class DrainRoundSink final : public ReceiptSink {
+ public:
+  using Consumer =
+      std::function<void(std::size_t, const net::PathId&, PathDrain&&)>;
+
+  /// Throws std::invalid_argument on a null consumer.
+  explicit DrainRoundSink(Consumer consumer);
+
+  void begin_path(std::size_t path_index, const net::PathId& id) override;
+  void on_samples(SampleReceipt samples) override;
+  void on_aggregate(AggregateReceipt aggregate) override;
+  void end_path() override;
+
+ private:
+  Consumer consumer_;
+  std::size_t index_ = 0;
+  net::PathId id_;
+  PathDrain current_;
   bool open_ = false;
 };
 

@@ -13,6 +13,25 @@ void PathVerifier::add_hop(HopReceipts receipts) {
   receipts_.emplace(receipts.hop, std::move(receipts));
 }
 
+void PathVerifier::add_round(net::HopId hop, PathDrain round) {
+  const auto it = receipts_.find(hop);
+  if (it == receipts_.end()) {
+    receipts_.emplace(hop,
+                      HopReceipts{.hop = hop,
+                                  .samples = std::move(round.samples),
+                                  .aggregates = std::move(round.aggregates)});
+    return;
+  }
+  HopReceipts& r = it->second;
+  r.samples.samples.insert(
+      r.samples.samples.end(),
+      std::make_move_iterator(round.samples.samples.begin()),
+      std::make_move_iterator(round.samples.samples.end()));
+  r.aggregates.insert(r.aggregates.end(),
+                      std::make_move_iterator(round.aggregates.begin()),
+                      std::make_move_iterator(round.aggregates.end()));
+}
+
 const HopReceipts& PathVerifier::hop(net::HopId id) const {
   const auto it = receipts_.find(id);
   if (it == receipts_.end()) {

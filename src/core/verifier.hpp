@@ -31,6 +31,8 @@ struct DomainDelayReport {
   /// Quantile estimates with confidence intervals ([20]-style).
   std::vector<stats::QuantileEstimate> quantiles;
   [[nodiscard]] bool usable() const noexcept { return common_samples > 0; }
+  friend bool operator==(const DomainDelayReport&,
+                         const DomainDelayReport&) = default;
 };
 
 /// Loss through one domain, computed from joined aggregates.
@@ -51,6 +53,8 @@ struct DomainLossReport {
                : 1.0 - static_cast<double>(delivered) /
                            static_cast<double>(offered);
   }
+  friend bool operator==(const DomainLossReport&,
+                         const DomainLossReport&) = default;
 };
 
 /// Consistency verdict for one inter-domain link.
@@ -63,6 +67,7 @@ struct LinkReport {
   [[nodiscard]] std::size_t violation_count() const noexcept {
     return samples.violations.size() + aggregates.violations.size();
   }
+  friend bool operator==(const LinkReport&, const LinkReport&) = default;
 };
 
 /// Receipts one HOP produced for one path over the measurement period.
@@ -87,6 +92,9 @@ struct DomainFinding {
   net::HopId egress = net::kNoHop;
   DomainDelayReport delay;
   DomainLossReport loss;
+
+  friend bool operator==(const DomainFinding&,
+                         const DomainFinding&) = default;
 };
 
 struct LinkFinding {
@@ -101,6 +109,7 @@ struct LinkFinding {
   [[nodiscard]] bool implicates_pair() const noexcept {
     return !report.consistent();
   }
+  friend bool operator==(const LinkFinding&, const LinkFinding&) = default;
 };
 
 struct PathAnalysis {
@@ -112,6 +121,7 @@ struct PathAnalysis {
     }
     return true;
   }
+  friend bool operator==(const PathAnalysis&, const PathAnalysis&) = default;
 };
 
 /// Collects receipts from every HOP of one path and answers queries.
@@ -120,6 +130,13 @@ class PathVerifier {
   /// Register a HOP's receipts.  Throws std::invalid_argument on duplicate
   /// HOP ids.
   void add_hop(HopReceipts receipts);
+
+  /// Ingest one reporting round of receipts from `hop`: rounds concatenate
+  /// per the collector's periodic-drain invariant, so N add_round calls
+  /// equal one add_hop of the combined receipts.  This verifier stays the
+  /// MATERIALIZED reference (memory grows with history); the round-fed
+  /// production counterpart is core::IncrementalPathVerifier.
+  void add_round(net::HopId hop, PathDrain round);
 
   [[nodiscard]] bool has_hop(net::HopId hop) const noexcept {
     return receipts_.contains(hop);

@@ -1,5 +1,8 @@
 #include "dissem/receipt_store.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace vpm::dissem {
 
 const char* to_string(IngestResult r) {
@@ -12,6 +15,22 @@ const char* to_string(IngestResult r) {
       return "bad authenticator";
     case IngestResult::kStaleSequence:
       return "stale sequence";
+  }
+  return "unknown";
+}
+
+const char* to_string(AckResult r) {
+  switch (r) {
+    case AckResult::kAcked:
+      return "acked";
+    case AckResult::kUnknownConsumer:
+      return "unknown consumer";
+    case AckResult::kUnknownProducer:
+      return "unknown producer";
+    case AckResult::kRegressed:
+      return "regressed ack";
+    case AckResult::kAhead:
+      return "ack ahead of stream";
   }
   return "unknown";
 }
@@ -30,14 +49,29 @@ IngestResult ReceiptStore::ingest(Envelope envelope) {
     ++rejected_;
     return IngestResult::kBadAuthenticator;
   }
-  auto& last = last_sequence_[envelope.producer];
-  if (!stored_[envelope.producer].empty() && envelope.sequence <= last) {
+  // Sequence 0 sits below the cursor sentinel (cursor 0 == "nothing
+  // acked"): it could never be fetched through a cursor nor acked, so it
+  // would be silently lost to every consumer — reject it like any other
+  // below-floor sequence.
+  if (envelope.sequence == 0) {
     ++rejected_;
     return IngestResult::kStaleSequence;
   }
-  last = envelope.sequence;
+  // Replay/rollback rejection keys off the accepted-sequence HISTORY, not
+  // the retained envelopes: garbage collection empties stored_, and an
+  // emptiness test here would re-admit a replayed old envelope the moment
+  // its original was collected.
+  const auto last_it = last_sequence_.find(envelope.producer);
+  if (last_it != last_sequence_.end() &&
+      envelope.sequence <= last_it->second) {
+    ++rejected_;
+    return IngestResult::kStaleSequence;
+  }
+  last_sequence_[envelope.producer] = envelope.sequence;
   const DomainId producer = envelope.producer;
   const std::uint64_t sequence = envelope.sequence;
+  stored_payload_bytes_ += envelope.payload.size();
+  ++stored_envelopes_;
   stored_[producer].emplace(sequence, std::move(envelope));
   ++accepted_;
   return IngestResult::kAccepted;
@@ -57,12 +91,100 @@ std::vector<std::vector<std::byte>> ReceiptStore::payloads_from(
 
 void ReceiptStore::for_each_payload(
     DomainId producer,
-    const std::function<void(std::span<const std::byte>)>& visit) const {
+    core::FunctionRef<void(std::span<const std::byte>)> visit) const {
   const auto it = stored_.find(producer);
   if (it == stored_.end()) return;
   for (const auto& [seq, env] : it->second) {
     visit(env.payload);
   }
+}
+
+void ReceiptStore::register_consumer(const std::string& name) {
+  cursors_.try_emplace(name);
+}
+
+std::uint64_t ReceiptStore::effective_cursor(
+    const std::unordered_map<DomainId, std::uint64_t>& acked,
+    DomainId producer) const {
+  std::uint64_t cur = 0;
+  const auto floor_it = gc_floor_.find(producer);
+  if (floor_it != gc_floor_.end()) cur = floor_it->second;
+  const auto ack_it = acked.find(producer);
+  if (ack_it != acked.end()) cur = std::max(cur, ack_it->second);
+  return cur;
+}
+
+void ReceiptStore::fetch_from(
+    const std::string& consumer, DomainId producer,
+    core::FunctionRef<void(std::uint64_t, std::span<const std::byte>)> visit)
+    const {
+  const auto cons_it = cursors_.find(consumer);
+  if (cons_it == cursors_.end()) {
+    throw std::invalid_argument("ReceiptStore: unregistered consumer \"" +
+                                consumer + "\"");
+  }
+  const auto it = stored_.find(producer);
+  if (it == stored_.end()) return;
+  const std::uint64_t cur = effective_cursor(cons_it->second, producer);
+  // Resume strictly after the cursor: upper_bound of the acked sequence.
+  for (auto env_it = it->second.upper_bound(cur); env_it != it->second.end();
+       ++env_it) {
+    visit(env_it->first, env_it->second.payload);
+  }
+}
+
+AckResult ReceiptStore::ack(const std::string& consumer, DomainId producer,
+                            std::uint64_t sequence) {
+  const auto cons_it = cursors_.find(consumer);
+  if (cons_it == cursors_.end()) return AckResult::kUnknownConsumer;
+  if (!keys_.contains(producer)) return AckResult::kUnknownProducer;
+  const std::uint64_t cur = effective_cursor(cons_it->second, producer);
+  if (sequence < cur) return AckResult::kRegressed;
+  const auto last_it = last_sequence_.find(producer);
+  const std::uint64_t last =
+      last_it == last_sequence_.end() ? 0 : last_it->second;
+  if (sequence > last) return AckResult::kAhead;
+  if (sequence > cur) {
+    cons_it->second[producer] = sequence;
+    collect_garbage(producer);
+  }
+  return AckResult::kAcked;
+}
+
+std::uint64_t ReceiptStore::cursor(const std::string& consumer,
+                                   DomainId producer) const {
+  const auto cons_it = cursors_.find(consumer);
+  if (cons_it == cursors_.end()) {
+    throw std::invalid_argument("ReceiptStore: unregistered consumer \"" +
+                                consumer + "\"");
+  }
+  return effective_cursor(cons_it->second, producer);
+}
+
+std::uint64_t ReceiptStore::gc_floor(DomainId producer) const {
+  const auto it = gc_floor_.find(producer);
+  return it == gc_floor_.end() ? 0 : it->second;
+}
+
+void ReceiptStore::collect_garbage(DomainId producer) {
+  if (cursors_.empty()) return;  // nobody registered: retain everything
+  std::uint64_t floor = static_cast<std::uint64_t>(-1);
+  for (const auto& [name, acked] : cursors_) {
+    floor = std::min(floor, effective_cursor(acked, producer));
+  }
+  auto& floor_slot = gc_floor_[producer];
+  if (floor <= floor_slot) return;
+  floor_slot = floor;
+  const auto it = stored_.find(producer);
+  if (it == stored_.end()) return;
+  auto& envs = it->second;
+  const auto end = envs.upper_bound(floor);
+  for (auto env_it = envs.begin(); env_it != end; ++env_it) {
+    stored_payload_bytes_ -= env_it->second.payload.size();
+    --stored_envelopes_;
+    ++gc_erased_;
+  }
+  envs.erase(envs.begin(), end);
 }
 
 }  // namespace vpm::dissem

@@ -3,19 +3,32 @@
 //
 // Ingest enforces the security contract: a batch is accepted only if its
 // envelope verifies under the producer's registered key and its sequence
-// number advances (replay/rollback rejection).  Consumers fetch by
-// producer; payload interpretation (receipt batch decoding) stays with the
-// caller, which owns the PathId table.
+// number advances (replay/rollback rejection — the sequence history
+// survives garbage collection, so a replayed old envelope is rejected even
+// after its original was collected).  Consumers fetch by producer; payload
+// interpretation (receipt batch decoding) stays with the caller, which
+// owns the PathId table.
+//
+// Bounded growth for month-long runs: consumers register by NAME and fetch
+// through per-(consumer, producer) cursors — fetch_from() resumes after
+// the consumer's last acknowledged sequence, ack() advances the cursor —
+// and the store garbage-collects every envelope that ALL registered
+// consumers have acknowledged, so resident bytes are bounded by the
+// slowest consumer's lag instead of history.  A consumer registered late
+// starts at each producer's GC floor (collected envelopes cannot be
+// served); with no registered consumers nothing is ever collected (the
+// pre-cursor behaviour).
 #ifndef VPM_DISSEM_RECEIPT_STORE_HPP
 #define VPM_DISSEM_RECEIPT_STORE_HPP
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/function_ref.hpp"
 #include "dissem/envelope.hpp"
 
 namespace vpm::dissem {
@@ -29,6 +42,16 @@ enum class IngestResult : std::uint8_t {
 
 [[nodiscard]] const char* to_string(IngestResult r);
 
+enum class AckResult : std::uint8_t {
+  kAcked,             ///< cursor advanced (or idempotent re-ack of it)
+  kUnknownConsumer,   ///< consumer name never registered
+  kUnknownProducer,   ///< producer has no registered key
+  kRegressed,         ///< sequence below the consumer's cursor — rejected
+  kAhead,             ///< sequence beyond anything the store served
+};
+
+[[nodiscard]] const char* to_string(AckResult r);
+
 class ReceiptStore {
  public:
   /// Register (or rotate) a producer's key.  Later envelopes must verify
@@ -38,22 +61,65 @@ class ReceiptStore {
   /// Validate and file an envelope.
   IngestResult ingest(Envelope envelope);
 
-  /// All accepted payloads from `producer`, in sequence order, as OWNING
-  /// copies.  (This used to return spans into the stored envelopes — views
-  /// whose validity silently depended on the store's container internals
-  /// surviving later ingest; the regression suite pins the owning
-  /// behaviour.  Streaming consumers that must not copy use
-  /// for_each_payload instead.)
+  /// All accepted *retained* payloads from `producer`, in sequence order,
+  /// as OWNING copies.  (This used to return spans into the stored
+  /// envelopes — views whose validity silently depended on the store's
+  /// container internals surviving later ingest; the regression suite pins
+  /// the owning behaviour.  Streaming consumers that must not copy use
+  /// for_each_payload instead.)  With consumer GC active, collected
+  /// envelopes are gone — cursor-driven consumers use fetch_from.
   [[nodiscard]] std::vector<std::vector<std::byte>> payloads_from(
       DomainId producer) const;
 
-  /// Visit each accepted payload from `producer` in sequence order.  The
+  /// Visit each retained payload from `producer` in sequence order.  The
   /// span handed to `visit` borrows the stored envelope and is valid ONLY
   /// for the duration of the call; `visit` must not ingest into or
-  /// otherwise mutate this store.
+  /// otherwise mutate this store.  (Non-owning FunctionRef: this sits on
+  /// the wire-import hot path, once per stored chunk.)
   void for_each_payload(
       DomainId producer,
-      const std::function<void(std::span<const std::byte>)>& visit) const;
+      core::FunctionRef<void(std::span<const std::byte>)> visit) const;
+
+  // --- per-consumer cursors + garbage collection -------------------------
+
+  /// Register a named consumer.  Idempotent for the same name.  From this
+  /// point on, the consumer's acknowledgements gate garbage collection;
+  /// its cursor for each producer starts at that producer's current GC
+  /// floor (a late registrant cannot be served what was already
+  /// collected).
+  void register_consumer(const std::string& name);
+
+  /// Visit `producer`'s retained payloads with sequence numbers AFTER the
+  /// consumer's cursor, in sequence order, as (sequence, payload) pairs.
+  /// Fetch does not advance the cursor — re-fetching without ack() serves
+  /// the same envelopes again (at-least-once delivery).  Throws
+  /// std::invalid_argument for an unregistered consumer; an unknown
+  /// producer visits nothing.
+  void fetch_from(const std::string& consumer, DomainId producer,
+                  core::FunctionRef<void(std::uint64_t,
+                                         std::span<const std::byte>)>
+                      visit) const;
+
+  /// Acknowledge every sequence of `producer` up to and including
+  /// `sequence` for `consumer`.  Re-acking the current cursor is an
+  /// idempotent kAcked; a sequence below the cursor is kRegressed and a
+  /// sequence beyond the producer's last accepted envelope is kAhead —
+  /// both rejected without moving the cursor.  A successful ack runs
+  /// garbage collection for the producer (envelopes every registered
+  /// consumer has acknowledged are erased).
+  AckResult ack(const std::string& consumer, DomainId producer,
+                std::uint64_t sequence);
+
+  /// The consumer's effective cursor for `producer` (max of its explicit
+  /// acks and the producer's GC floor).  Throws std::invalid_argument for
+  /// an unregistered consumer.
+  [[nodiscard]] std::uint64_t cursor(const std::string& consumer,
+                                     DomainId producer) const;
+
+  /// Highest sequence of `producer` collected so far (0 before any GC).
+  [[nodiscard]] std::uint64_t gc_floor(DomainId producer) const;
+
+  // --- accounting ---------------------------------------------------------
 
   [[nodiscard]] std::size_t accepted_count() const noexcept {
     return accepted_;
@@ -61,13 +127,42 @@ class ReceiptStore {
   [[nodiscard]] std::size_t rejected_count() const noexcept {
     return rejected_;
   }
+  /// Envelopes currently retained, across producers.
+  [[nodiscard]] std::size_t stored_envelopes() const noexcept {
+    return stored_envelopes_;
+  }
+  /// Payload bytes currently retained — the resident-memory figure the
+  /// churn-soak plateau assertion reads.
+  [[nodiscard]] std::size_t stored_payload_bytes() const noexcept {
+    return stored_payload_bytes_;
+  }
+  /// Envelopes garbage-collected over the store's lifetime.
+  [[nodiscard]] std::size_t gc_erased_count() const noexcept {
+    return gc_erased_;
+  }
+  [[nodiscard]] std::size_t consumer_count() const noexcept {
+    return cursors_.size();
+  }
 
  private:
+  /// Erase `producer`'s envelopes every registered consumer has acked.
+  void collect_garbage(DomainId producer);
+  [[nodiscard]] std::uint64_t effective_cursor(
+      const std::unordered_map<DomainId, std::uint64_t>& acked,
+      DomainId producer) const;
+
   std::unordered_map<DomainId, DomainKey> keys_;
   std::unordered_map<DomainId, std::uint64_t> last_sequence_;
   std::unordered_map<DomainId, std::map<std::uint64_t, Envelope>> stored_;
+  /// consumer name -> producer -> last acknowledged sequence.
+  std::map<std::string, std::unordered_map<DomainId, std::uint64_t>>
+      cursors_;
+  std::unordered_map<DomainId, std::uint64_t> gc_floor_;
   std::size_t accepted_ = 0;
   std::size_t rejected_ = 0;
+  std::size_t stored_envelopes_ = 0;
+  std::size_t stored_payload_bytes_ = 0;
+  std::size_t gc_erased_ = 0;
 };
 
 }  // namespace vpm::dissem

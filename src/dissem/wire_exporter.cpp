@@ -27,6 +27,11 @@ WireExporter::WireExporter(Config cfg, EnvelopeConsumer consumer)
   if (cfg_.max_chunk_bytes == 0) {
     throw std::invalid_argument("WireExporter: zero max_chunk_bytes");
   }
+  if (cfg_.first_sequence == 0) {
+    // Sequence 0 is below every store cursor's starting floor: such an
+    // envelope could never be served to or acked by a cursor consumer.
+    throw std::invalid_argument("WireExporter: first_sequence must be >= 1");
+  }
 }
 
 void WireExporter::begin_path(std::size_t, const net::PathId&) {
@@ -183,6 +188,16 @@ void WireExporter::seal_chunk() {
   sections_ = net::ByteWriter{};
   section_count_ = 0;
   consumer_(std::move(env));
+}
+
+void WireExporter::flush() {
+  if (finished_) {
+    throw std::logic_error("WireExporter: flush() after finish()");
+  }
+  if (in_path_) {
+    throw std::logic_error("WireExporter: flush() inside a path");
+  }
+  seal_chunk();
 }
 
 void WireExporter::finish() {

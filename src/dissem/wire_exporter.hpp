@@ -108,6 +108,14 @@ class WireExporter final : public core::ReceiptSink {
   /// rounds, which are otherwise indistinguishable from an epoch split.
   void end_round();
 
+  /// Seal and emit the current partial chunk NOW, without ending the
+  /// stream.  Periodic producers call end_round() + flush() after each
+  /// drain so the round ships as soon as it closes instead of waiting for
+  /// the size cap — the store's cursor consumers then see whole rounds
+  /// per fetch.  No-op when nothing is buffered; throws std::logic_error
+  /// inside a path or after finish().
+  void flush();
+
   /// Seal and emit the final partial chunk (after a closing round mark).
   /// Call once after the last drain; idempotent.  (Not run from the
   /// destructor: sealing invokes the consumer, which must not happen

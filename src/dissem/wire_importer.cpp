@@ -8,32 +8,6 @@
 #include "net/wire.hpp"
 
 namespace vpm::dissem {
-namespace {
-
-/// Per-import state machine: a path's sections are contiguous in the
-/// stream (possibly straddling chunk boundaries), sample batches first.
-/// Sample parts accumulate until the first aggregate section (or the end
-/// of the path) so the sink sees exactly one on_samples per path.
-struct PathAssembly {
-  bool active = false;
-  std::size_t index = 0;
-  std::uint64_t key = 0;
-  core::SampleReceipt samples;
-  bool have_samples = false;     ///< at least one sample section decoded
-  bool samples_emitted = false;  ///< begin_path/on_samples already sent
-  bool have_aggregates = false;
-  net::Timestamp last_agg_open;  ///< valid once have_aggregates
-};
-
-void emit_samples(PathAssembly& cur, const net::PathId& id,
-                  core::ReceiptSink& sink) {
-  if (cur.samples_emitted) return;
-  sink.begin_path(cur.index, id);
-  sink.on_samples(std::move(cur.samples));
-  cur.samples_emitted = true;
-}
-
-}  // namespace
 
 WireImporter::WireImporter(std::vector<net::PathId> paths)
     : paths_(std::move(paths)) {
@@ -45,132 +19,173 @@ WireImporter::WireImporter(std::vector<net::PathId> paths)
   }
 }
 
+WireImporter::Session::Session(const WireImporter& importer,
+                               core::ReceiptSink& sink)
+    : importer_(&importer),
+      sink_(&sink),
+      seen_(importer.paths_.size(), false) {}
+
+void WireImporter::Session::emit_samples() {
+  if (cur_.samples_emitted) return;
+  sink_->begin_path(cur_.index, importer_->paths_[cur_.index]);
+  sink_->on_samples(std::move(cur_.samples));
+  cur_.samples_emitted = true;
+}
+
+void WireImporter::Session::close_path() {
+  if (!cur_.active) return;
+  // A path that shipped only sample sections still yields its full
+  // begin/samples/end triple.
+  emit_samples();
+  sink_->end_path();
+  cur_ = Assembly{};
+}
+
+void WireImporter::Session::finish() {
+  if (finished_) return;
+  if (poisoned_) {
+    // The assembly is half mutated by a decode error: closing it would
+    // hand the sink a fabricated partial round.
+    throw std::logic_error(
+        "WireImporter::Session: finish after a decode error poisoned the "
+        "session");
+  }
+  close_path();
+  finished_ = true;
+}
+
+void WireImporter::Session::feed(std::span<const std::byte> payload) {
+  if (finished_) {
+    throw std::logic_error("WireImporter::Session: feed after finish");
+  }
+  if (poisoned_) {
+    throw std::logic_error(
+        "WireImporter::Session: feed after a decode error poisoned the "
+        "session");
+  }
+  // Poison-until-proven-good: a WireError can fire mid-chunk with the
+  // assembly half mutated and sections already emitted; a caller that
+  // catches it must not resume from that state.
+  poisoned_ = true;
+  net::ByteReader in(payload);
+  if (in.u8() != kChunkTag) {
+    throw net::WireError("expected receipt chunk tag");
+  }
+  const std::uint32_t sections = in.u32();
+  for (std::uint32_t s = 0; s < sections; ++s) {
+    const std::uint8_t kind = in.u8();
+    if (kind != kSampleSectionKind && kind != kAggregateSectionKind &&
+        kind != kRoundMarkKind) {
+      throw net::WireError("unknown chunk section kind");
+    }
+    const std::uint64_t key = in.u64();
+    const std::uint32_t length = in.u32();
+    in.expect_at_least(length);
+
+    if (kind == kRoundMarkKind) {
+      if (key != 0 || length != 0) {
+        throw net::WireError("malformed round-mark section");
+      }
+      close_path();
+      seen_.assign(seen_.size(), false);
+      continue;
+    }
+
+    // A path's sections are contiguous within a round; a sample section
+    // for the CURRENT path after its aggregates started can only be the
+    // producer's next round (single-path periodic reporting without an
+    // explicit round mark).
+    if (!cur_.active || key != cur_.key ||
+        (kind == kSampleSectionKind && cur_.samples_emitted)) {
+      close_path();
+      const auto it = importer_->index_of_.find(key);
+      if (it == importer_->index_of_.end()) {
+        throw net::WireError("chunk references unknown path key");
+      }
+      if (kind != kSampleSectionKind) {
+        throw net::WireError(
+            "path section stream must start with its sample batch");
+      }
+      if (seen_[it->second]) {
+        // A fresh sample section for an already-imported path is the
+        // producer's next reporting round (periodic drains through one
+        // sequence of envelopes): every path starts over.  Within a
+        // round a path's sections stay contiguous — an aggregate
+        // section for a non-current path is rejected above.
+        seen_.assign(seen_.size(), false);
+      }
+      seen_[it->second] = true;
+      cur_.active = true;
+      cur_.index = it->second;
+      cur_.key = key;
+    }
+    const net::PathId& id = importer_->paths_[cur_.index];
+
+    const std::size_t before = in.remaining();
+    if (kind == kSampleSectionKind) {
+      if (cur_.samples_emitted) {
+        throw net::WireError(
+            "sample batch after the path's aggregate sections");
+      }
+      core::SampleReceipt part = core::decode_sample_batch(in, id);
+      if (!cur_.have_samples) {
+        cur_.samples = std::move(part);
+        cur_.have_samples = true;
+      } else {
+        if (part.sample_threshold != cur_.samples.sample_threshold ||
+            part.marker_threshold != cur_.samples.marker_threshold) {
+          throw net::WireError(
+              "split sample batches disagree on thresholds");
+        }
+        // The decoder validates time order within one batch; the seam
+        // between split batches must stay monotone too, or the
+        // reassembled stream smuggles in exactly the inversion the
+        // per-batch check rejects.
+        if (!part.samples.empty() && !cur_.samples.samples.empty() &&
+            part.samples.front().time < cur_.samples.samples.back().time) {
+          throw net::WireError("split sample batches not in time order");
+        }
+        cur_.samples.samples.insert(
+            cur_.samples.samples.end(),
+            std::make_move_iterator(part.samples.begin()),
+            std::make_move_iterator(part.samples.end()));
+      }
+    } else {
+      emit_samples();
+      std::vector<core::AggregateReceipt> batch =
+          core::decode_aggregate_batch(in, id);
+      if (!batch.empty()) {
+        // Same seam rule across split aggregate batches: open times
+        // must not step backwards between sections.
+        if (cur_.have_aggregates &&
+            batch.front().opened_at < cur_.last_agg_open) {
+          throw net::WireError(
+              "split aggregate batches not in open order");
+        }
+        cur_.have_aggregates = true;
+        cur_.last_agg_open = batch.back().opened_at;
+        for (core::AggregateReceipt& r : batch) {
+          sink_->on_aggregate(std::move(r));
+        }
+      }
+    }
+    if (before - in.remaining() != length) {
+      throw net::WireError("section length does not match its batch");
+    }
+  }
+  if (!in.done()) {
+    throw net::WireError("trailing bytes after the chunk's sections");
+  }
+  poisoned_ = false;
+}
+
 void WireImporter::import_into(const ReceiptStore& store, DomainId producer,
                                core::ReceiptSink& sink) const {
-  PathAssembly cur;
-  std::vector<bool> seen(paths_.size(), false);
-
-  const auto close_path = [&] {
-    if (!cur.active) return;
-    // A path that shipped only sample sections still yields its full
-    // begin/samples/end triple.
-    emit_samples(cur, paths_[cur.index], sink);
-    sink.end_path();
-    cur = PathAssembly{};
-  };
-
+  Session session(*this, sink);
   store.for_each_payload(producer, [&](std::span<const std::byte> payload) {
-    net::ByteReader in(payload);
-    if (in.u8() != kChunkTag) {
-      throw net::WireError("expected receipt chunk tag");
-    }
-    const std::uint32_t sections = in.u32();
-    for (std::uint32_t s = 0; s < sections; ++s) {
-      const std::uint8_t kind = in.u8();
-      if (kind != kSampleSectionKind && kind != kAggregateSectionKind &&
-          kind != kRoundMarkKind) {
-        throw net::WireError("unknown chunk section kind");
-      }
-      const std::uint64_t key = in.u64();
-      const std::uint32_t length = in.u32();
-      in.expect_at_least(length);
-
-      if (kind == kRoundMarkKind) {
-        if (key != 0 || length != 0) {
-          throw net::WireError("malformed round-mark section");
-        }
-        close_path();
-        seen.assign(seen.size(), false);
-        continue;
-      }
-
-      // A path's sections are contiguous within a round; a sample section
-      // for the CURRENT path after its aggregates started can only be the
-      // producer's next round (single-path periodic reporting without an
-      // explicit round mark).
-      if (!cur.active || key != cur.key ||
-          (kind == kSampleSectionKind && cur.samples_emitted)) {
-        close_path();
-        const auto it = index_of_.find(key);
-        if (it == index_of_.end()) {
-          throw net::WireError("chunk references unknown path key");
-        }
-        if (kind != kSampleSectionKind) {
-          throw net::WireError(
-              "path section stream must start with its sample batch");
-        }
-        if (seen[it->second]) {
-          // A fresh sample section for an already-imported path is the
-          // producer's next reporting round (periodic drains through one
-          // sequence of envelopes): every path starts over.  Within a
-          // round a path's sections stay contiguous — an aggregate
-          // section for a non-current path is rejected above.
-          seen.assign(seen.size(), false);
-        }
-        seen[it->second] = true;
-        cur.active = true;
-        cur.index = it->second;
-        cur.key = key;
-      }
-      const net::PathId& id = paths_[cur.index];
-
-      const std::size_t before = in.remaining();
-      if (kind == kSampleSectionKind) {
-        if (cur.samples_emitted) {
-          throw net::WireError(
-              "sample batch after the path's aggregate sections");
-        }
-        core::SampleReceipt part = core::decode_sample_batch(in, id);
-        if (!cur.have_samples) {
-          cur.samples = std::move(part);
-          cur.have_samples = true;
-        } else {
-          if (part.sample_threshold != cur.samples.sample_threshold ||
-              part.marker_threshold != cur.samples.marker_threshold) {
-            throw net::WireError(
-                "split sample batches disagree on thresholds");
-          }
-          // The decoder validates time order within one batch; the seam
-          // between split batches must stay monotone too, or the
-          // reassembled stream smuggles in exactly the inversion the
-          // per-batch check rejects.
-          if (!part.samples.empty() && !cur.samples.samples.empty() &&
-              part.samples.front().time < cur.samples.samples.back().time) {
-            throw net::WireError("split sample batches not in time order");
-          }
-          cur.samples.samples.insert(
-              cur.samples.samples.end(),
-              std::make_move_iterator(part.samples.begin()),
-              std::make_move_iterator(part.samples.end()));
-        }
-      } else {
-        emit_samples(cur, id, sink);
-        std::vector<core::AggregateReceipt> batch =
-            core::decode_aggregate_batch(in, id);
-        if (!batch.empty()) {
-          // Same seam rule across split aggregate batches: open times
-          // must not step backwards between sections.
-          if (cur.have_aggregates &&
-              batch.front().opened_at < cur.last_agg_open) {
-            throw net::WireError(
-                "split aggregate batches not in open order");
-          }
-          cur.have_aggregates = true;
-          cur.last_agg_open = batch.back().opened_at;
-          for (core::AggregateReceipt& r : batch) {
-            sink.on_aggregate(std::move(r));
-          }
-        }
-      }
-      if (before - in.remaining() != length) {
-        throw net::WireError("section length does not match its batch");
-      }
-    }
-    if (!in.done()) {
-      throw net::WireError("trailing bytes after the chunk's sections");
-    }
+    session.feed(payload);
   });
-  close_path();
+  session.finish();
 }
 
 std::vector<core::IndexedPathDrain> WireImporter::import(

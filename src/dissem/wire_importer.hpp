@@ -19,6 +19,7 @@
 #define VPM_DISSEM_WIRE_IMPORTER_HPP
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -67,6 +68,62 @@ class WireImporter {
   [[nodiscard]] std::size_t path_count() const noexcept {
     return paths_.size();
   }
+
+  /// Stateful incremental decode: feed one producer's chunk payloads in
+  /// sequence order ACROSS fetches — the cursor-consumer loop
+  ///
+  ///   store.fetch_from(me, producer, [&](seq, payload) {
+  ///     session.feed(payload); last = seq; });
+  ///   store.ack(me, producer, last);
+  ///
+  /// A path whose sections straddle a chunk (and therefore fetch)
+  /// boundary reassembles exactly as in the one-shot import, because the
+  /// assembly state persists between feeds.  Call finish() at true
+  /// end-of-stream to close a trailing path (a stream whose producer
+  /// ends every round with end_round() is already closed).  The parent
+  /// importer and sink must outlive the session.
+  class Session {
+   public:
+    Session(const WireImporter& importer, core::ReceiptSink& sink);
+
+    /// Decode one accepted chunk payload.  Throws net::WireError on
+    /// malformed input; the session is then POISONED — the assembly may
+    /// be half mutated, so every later feed() throws std::logic_error
+    /// (the producer's stream cannot be trusted past a framing error).
+    void feed(std::span<const std::byte> payload);
+
+    /// Close the path left open by a stream that did not end at a round
+    /// boundary.  Idempotent; feed() after finish() throws, and finish()
+    /// on a poisoned session throws rather than emit the half-decoded
+    /// assembly.
+    void finish();
+
+   private:
+    /// Per-stream assembly: a path's sections are contiguous (possibly
+    /// straddling chunk boundaries), sample batches first; sample parts
+    /// accumulate until the first aggregate section (or the end of the
+    /// path) so the sink sees exactly one on_samples per path.
+    struct Assembly {
+      bool active = false;
+      std::size_t index = 0;
+      std::uint64_t key = 0;
+      core::SampleReceipt samples;
+      bool have_samples = false;   ///< at least one sample section decoded
+      bool samples_emitted = false;  ///< begin_path/on_samples already sent
+      bool have_aggregates = false;
+      net::Timestamp last_agg_open;  ///< valid once have_aggregates
+    };
+
+    void close_path();
+    void emit_samples();
+
+    const WireImporter* importer_;
+    core::ReceiptSink* sink_;
+    Assembly cur_;
+    std::vector<bool> seen_;  ///< paths already imported this round
+    bool finished_ = false;
+    bool poisoned_ = false;  ///< a feed() threw mid-chunk
+  };
 
  private:
   std::vector<net::PathId> paths_;

@@ -1,0 +1,128 @@
+// Long-run churn scenario: the epoch lifecycle driven end-to-end.
+//
+// One call simulates `rounds` reporting rounds of a three-HOP path segment
+// (A,B in domain "alpha"; C in domain "beta") under a CHURNING path
+// population: a stable core of paths sends traffic every round, while a
+// rotating set of churn paths arrives, lives for a few rounds, expires and
+// is later replaced (≥30% of the live set at any time).  The same traffic
+// runs through two parallel deployments:
+//
+//   churn run    ShardedCollector per HOP with TTL eviction + arena
+//                compaction at every round's lifecycle pass, drained
+//                through WireExporter -> ReceiptStore (named consumers,
+//                per-consumer cursors, GC by slowest consumer) ->
+//                WireImporter::Session -> DrainRoundSink ->
+//                IncrementalPathVerifier per path;
+//
+//   reference    plain MonitoringCache per HOP, nothing evicted, store
+//                never GC'd (no consumers), materialized PathVerifier fed
+//                the same rounds.
+//
+// The churn-soak suite asserts on the result: receipts and PathAnalysis
+// findings of CONTINUOUSLY-LIVE paths identical between the runs, and the
+// churn run's resident bytes (arenas, store, verifier tails) reaching a
+// plateau while the reference grows with history.
+#ifndef VPM_SIM_CHURN_SCENARIO_HPP
+#define VPM_SIM_CHURN_SCENARIO_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "collector/monitoring_cache.hpp"
+#include "core/config.hpp"
+#include "core/receipt.hpp"
+#include "core/verifier.hpp"
+#include "net/digest.hpp"
+#include "net/time.hpp"
+
+namespace vpm::sim {
+
+struct ChurnScenarioConfig {
+  // Path population.  The routing table holds every path that will ever
+  // exist (paths are learned from routing, not data); the schedule below
+  // decides who sends traffic each round.
+  std::size_t path_count = 36;      ///< routing-table size (all paths ever)
+  std::size_t stable_paths = 12;    ///< continuously-live core
+  std::size_t churn_live = 6;       ///< concurrently-live churning paths
+  std::size_t churn_lifetime_rounds = 6;  ///< rounds a churning path lives
+
+  // Reporting cadence and traffic shape.
+  std::size_t rounds = 52;
+  net::Duration round_length = net::milliseconds(40);
+  double total_packets_per_second = 50'000.0;
+  double zipf_s = 0.6;
+  std::uint64_t seed = 1;
+
+  // Collector shape.
+  net::DigestMode digest_mode = net::DigestMode::kIndependent;
+  double marker_rate = 1.0 / 100.0;
+  core::HopTuning tuning{.sample_rate = 0.05, .cut_rate = 2e-3};
+  std::size_t shard_count = 1;
+
+  // Lifecycle knobs (the churn run only).
+  std::size_t ttl_rounds = 3;  ///< evict after this many idle rounds
+  double compact_garbage_fraction = 0.25;
+
+  // Store consumers: "verifier" fetches+acks every round; "archiver"
+  // lags, bounding retained envelopes by its cursor.
+  std::size_t archiver_lag_rounds = 5;
+
+  // Incremental verifier retention.
+  std::uint64_t retain_rounds = 4;
+  std::size_t margin_boundaries = 2;
+
+  // Per-hop observation delay: base per hop plus a small constant
+  // per-path offset (µs-aligned so wire time quantisation is exact).
+  net::Duration hop_delay = net::microseconds(400);
+  std::size_t delay_spread_us = 32;
+};
+
+struct ChurnRoundMetrics {
+  // Resident bytes after the round's drain + lifecycle pass.
+  std::size_t churn_arena_bytes = 0;  ///< summed over the 3 churn HOPs
+  std::size_t churn_arena_live_bytes = 0;
+  std::size_t ref_arena_bytes = 0;    ///< summed over the 3 reference HOPs
+  std::size_t store_envelopes = 0;
+  std::size_t store_payload_bytes = 0;
+  std::size_t ref_store_payload_bytes = 0;  ///< no-GC store, same stream
+  std::size_t verifier_tail_receipts = 0;   ///< summed over path verifiers
+  std::size_t verifier_pending = 0;  ///< ingress entries + pending rounds
+  std::size_t evicted_cumulative = 0;
+};
+
+struct ChurnScenarioResult {
+  core::PathLayout layout;
+  std::size_t stable_paths = 0;
+  std::vector<ChurnRoundMetrics> per_round;
+
+  /// Per [hop][path]: the recovered wire stream of the churn run and the
+  /// reference run's direct drains, each concatenated across rounds.
+  std::vector<std::vector<core::PathDrain>> churn_concat;
+  std::vector<std::vector<core::PathDrain>> ref_concat;
+
+  /// Per path: IncrementalPathVerifier (churn, round-fed off the wire)
+  /// vs materialized PathVerifier (reference) findings.
+  std::vector<core::PathAnalysis> churn_analysis;
+  std::vector<core::PathAnalysis> ref_analysis;
+
+  collector::LifecycleReport lifecycle_totals;  ///< summed over churn HOPs
+  std::size_t store_accepted = 0;
+  std::size_t store_gc_erased = 0;
+  std::uint64_t verifier_expired_unmatched = 0;
+  std::uint64_t total_packets = 0;
+
+  /// True for paths that sent traffic every round (the equality set).
+  [[nodiscard]] bool continuously_live(std::size_t path) const {
+    return path < stable_paths;
+  }
+};
+
+/// Run one churn scenario.  Throws on infeasible configs (propagated from
+/// the collector/trace/lifecycle layers).
+[[nodiscard]] ChurnScenarioResult run_churn_scenario(
+    const ChurnScenarioConfig& cfg);
+
+}  // namespace vpm::sim
+
+#endif  // VPM_SIM_CHURN_SCENARIO_HPP

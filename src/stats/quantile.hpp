@@ -24,6 +24,9 @@ struct QuantileEstimate {
 
   /// Half-width of the confidence interval: the estimation "accuracy".
   [[nodiscard]] double accuracy() const { return (upper - lower) / 2.0; }
+
+  friend bool operator==(const QuantileEstimate&,
+                         const QuantileEstimate&) = default;
 };
 
 /// Accumulates sample values (delays) and answers quantile queries.

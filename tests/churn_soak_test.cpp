@@ -1,0 +1,164 @@
+// The churn-soak acceptance matrix (ISSUE 5): ≥50 reporting rounds with
+// ≥30% path turnover through the full epoch lifecycle — TTL eviction +
+// arena compaction at the collectors, cursor-GC'd dissemination, and the
+// round-fed incremental verifier — while continuously-live paths' receipts
+// and PathAnalysis findings stay IDENTICAL to the non-evicting,
+// non-GC'd, materialized reference, and resident bytes plateau.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "sim/churn_scenario.hpp"
+
+namespace vpm {
+namespace {
+
+sim::ChurnScenarioConfig matrix_config(std::uint64_t seed,
+                                       net::DigestMode mode,
+                                       std::size_t shards) {
+  sim::ChurnScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.digest_mode = mode;
+  cfg.shard_count = shards;
+  cfg.total_packets_per_second = 25'000.0;
+  // Defaults already satisfy the acceptance shape: 52 rounds, 36-path
+  // table, 12 stable + 6 churning live (33% of the live set churns).
+  return cfg;
+}
+
+/// The equality half of the acceptance criterion.
+void assert_live_paths_identical(const sim::ChurnScenarioResult& r,
+                                 const char* what) {
+  ASSERT_GE(r.per_round.size(), 50u);
+  ASSERT_GT(r.total_packets, 0u);
+  for (std::size_t h = 0; h < r.churn_concat.size(); ++h) {
+    for (std::size_t p = 0; p < r.stable_paths; ++p) {
+      ASSERT_EQ(r.churn_concat[h][p], r.ref_concat[h][p])
+          << what << ": hop " << h << " path " << p
+          << ": recovered wire stream diverged from the reference drain";
+    }
+  }
+  for (std::size_t p = 0; p < r.stable_paths; ++p) {
+    ASSERT_EQ(r.churn_analysis[p], r.ref_analysis[p])
+        << what << ": path " << p
+        << ": incremental findings diverged from the materialized verifier";
+    // The findings are non-trivial: delay samples matched and traffic
+    // accounted.
+    ASSERT_EQ(r.churn_analysis[p].domains.size(), 1u);
+    ASSERT_EQ(r.churn_analysis[p].links.size(), 1u);
+    EXPECT_GT(r.churn_analysis[p].domains[0].delay.common_samples, 0u)
+        << what << ": path " << p;
+    EXPECT_GT(r.churn_analysis[p].domains[0].loss.offered, 0u);
+  }
+  EXPECT_EQ(r.verifier_expired_unmatched, 0u)
+      << "in-window reporting must never expire unmatched state";
+  EXPECT_GT(r.lifecycle_totals.evicted_paths, 0u)
+      << "the churn schedule must actually exercise eviction";
+}
+
+std::size_t max_over(const std::vector<sim::ChurnRoundMetrics>& rounds,
+                     std::size_t begin, std::size_t end,
+                     std::size_t (*get)(const sim::ChurnRoundMetrics&)) {
+  std::size_t m = 0;
+  for (std::size_t i = begin; i < end; ++i) m = std::max(m, get(rounds[i]));
+  return m;
+}
+
+/// The plateau half.  Resident arena bytes are "bounded by live work":
+/// (1) garbage never exceeds the compaction watermark at any sampled
+/// round (the exact post-lifecycle invariant), (2) the total plateaus up
+/// to the slow burst-peak ratcheting of LIVE slice capacities (a stable
+/// path's buffer/ring doubles on a rare deep burst — real live memory the
+/// reference pays too), and (3) the grow-only reference pulls away.
+/// Store bytes and the verifier working set plateau tightly.
+void assert_plateau(const sim::ChurnScenarioResult& r,
+                    double garbage_watermark) {
+  const auto& rounds = r.per_round;
+  const std::size_t n = rounds.size();
+  const std::size_t third = n / 3;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& m = rounds[i];
+    const double garbage = static_cast<double>(m.churn_arena_bytes -
+                                               m.churn_arena_live_bytes);
+    EXPECT_LE(garbage, garbage_watermark *
+                               static_cast<double>(m.churn_arena_bytes) +
+                           64.0)
+        << "round " << i
+        << ": post-lifecycle garbage must sit at or below the watermark";
+  }
+
+  const auto plateau = [&](std::size_t (*get)(const sim::ChurnRoundMetrics&),
+                           std::size_t slack_percent, const char* what) {
+    const std::size_t mid = max_over(rounds, third, 2 * third, get);
+    const std::size_t last = max_over(rounds, 2 * third, n, get);
+    EXPECT_LE(last, mid + mid * slack_percent / 100 + 4096)
+        << what << " must plateau (middle-third max " << mid
+        << ", last-third max " << last << ")";
+  };
+  plateau([](const sim::ChurnRoundMetrics& m) { return m.churn_arena_bytes; },
+          50, "resident arena bytes");
+  plateau(
+      [](const sim::ChurnRoundMetrics& m) { return m.store_payload_bytes; },
+      10, "retained store bytes");
+  plateau([](const sim::ChurnRoundMetrics& m) {
+            return m.verifier_tail_receipts + m.verifier_pending;
+          },
+          10, "verifier working set");
+
+  // The reference run, by construction, keeps history: dead paths' arena
+  // slices and every envelope ever shipped.
+  const auto& last = rounds.back();
+  EXPECT_LT(static_cast<double>(last.churn_arena_bytes),
+            0.6 * static_cast<double>(last.ref_arena_bytes))
+      << "evicting + compacting must clearly beat the grow-only reference";
+  EXPECT_LT(last.store_payload_bytes, last.ref_store_payload_bytes / 4)
+      << "cursor GC must retain a small fraction of the full stream";
+  EXPECT_GT(r.store_gc_erased, 0u);
+
+  // Eviction keeps firing as churned paths expire (not just once).
+  EXPECT_GT(rounds.back().evicted_cumulative,
+            rounds[n / 2].evicted_cumulative);
+}
+
+TEST(ChurnSoak, PlateauAndLifecycleUnderDefaultLoad) {
+  sim::ChurnScenarioConfig cfg;  // 50 kpps, 52 rounds
+  cfg.seed = 1;
+  cfg.shard_count = 4;
+  const sim::ChurnScenarioResult r = sim::run_churn_scenario(cfg);
+  assert_live_paths_identical(r, "default");
+  assert_plateau(r, cfg.compact_garbage_fraction);
+  EXPECT_GT(r.lifecycle_totals.compactions, 0u)
+      << "eviction garbage must cross the compaction watermark";
+  EXPECT_GT(r.lifecycle_totals.reclaimed_arena_bytes, 0u);
+}
+
+// The acceptance matrix: 10 seeds × both digest modes × sharded {1,4}.
+// Split across cases so ctest can parallelize.
+void run_matrix(net::DigestMode mode, std::size_t shards) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const sim::ChurnScenarioResult r =
+        sim::run_churn_scenario(matrix_config(seed, mode, shards));
+    assert_live_paths_identical(
+        r, (std::string("seed ") + std::to_string(seed)).c_str());
+    assert_plateau(r, matrix_config(seed, mode, shards)
+                          .compact_garbage_fraction);
+  }
+}
+
+TEST(ChurnSoakMatrix, SingleDigestOneShard) {
+  run_matrix(net::DigestMode::kSingle, 1);
+}
+TEST(ChurnSoakMatrix, SingleDigestFourShards) {
+  run_matrix(net::DigestMode::kSingle, 4);
+}
+TEST(ChurnSoakMatrix, IndependentDigestOneShard) {
+  run_matrix(net::DigestMode::kIndependent, 1);
+}
+TEST(ChurnSoakMatrix, IndependentDigestFourShards) {
+  run_matrix(net::DigestMode::kIndependent, 4);
+}
+
+}  // namespace
+}  // namespace vpm

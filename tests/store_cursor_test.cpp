@@ -1,0 +1,187 @@
+// Per-consumer cursor semantics on the ReceiptStore: ack idempotence,
+// rejected out-of-order/regressing/ahead acks, GC gated on ALL registered
+// consumers, late registration at the GC floor, and the kStaleSequence
+// replay rejection surviving garbage collection.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dissem/envelope.hpp"
+#include "dissem/receipt_store.hpp"
+#include "dissem/wire_exporter.hpp"
+
+namespace vpm::dissem {
+namespace {
+
+constexpr DomainId kProducer = 5;
+constexpr DomainKey kKey = 0xabc;
+
+std::vector<std::byte> payload(std::size_t n) {
+  return std::vector<std::byte>(n, std::byte{0x42});
+}
+
+ReceiptStore store_with(std::uint64_t sequences_through) {
+  ReceiptStore store;
+  store.register_producer(kProducer, kKey);
+  for (std::uint64_t s = 1; s <= sequences_through; ++s) {
+    EXPECT_EQ(store.ingest(seal(kProducer, s, payload(8 + s), kKey)),
+              IngestResult::kAccepted);
+  }
+  return store;
+}
+
+std::vector<std::uint64_t> fetch_sequences(const ReceiptStore& store,
+                                           const std::string& consumer) {
+  std::vector<std::uint64_t> out;
+  store.fetch_from(consumer, kProducer,
+                   [&](std::uint64_t seq, std::span<const std::byte>) {
+                     out.push_back(seq);
+                   });
+  return out;
+}
+
+TEST(StoreCursor, FetchResumesAfterAck) {
+  ReceiptStore store = store_with(3);
+  store.register_consumer("v");
+
+  EXPECT_EQ(fetch_sequences(store, "v"),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+  // Fetch does not advance the cursor (at-least-once).
+  EXPECT_EQ(fetch_sequences(store, "v"),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+
+  EXPECT_EQ(store.ack("v", kProducer, 2), AckResult::kAcked);
+  EXPECT_EQ(store.cursor("v", kProducer), 2u);
+  EXPECT_EQ(fetch_sequences(store, "v"), (std::vector<std::uint64_t>{3}));
+}
+
+TEST(StoreCursor, AckValidation) {
+  ReceiptStore store = store_with(3);
+  store.register_consumer("v");
+
+  EXPECT_EQ(store.ack("nobody", kProducer, 1), AckResult::kUnknownConsumer);
+  EXPECT_EQ(store.ack("v", 99, 1), AckResult::kUnknownProducer);
+  EXPECT_EQ(store.ack("v", kProducer, 7), AckResult::kAhead)
+      << "cannot ack sequences the store never served";
+
+  EXPECT_EQ(store.ack("v", kProducer, 2), AckResult::kAcked);
+  EXPECT_EQ(store.ack("v", kProducer, 2), AckResult::kAcked)
+      << "re-acking the cursor is idempotent";
+  EXPECT_EQ(store.cursor("v", kProducer), 2u);
+  EXPECT_EQ(store.ack("v", kProducer, 1), AckResult::kRegressed)
+      << "cursors never move backwards";
+  EXPECT_EQ(store.cursor("v", kProducer), 2u);
+
+  // Acking a gap sequence (rejected envelope never stored) is fine: the
+  // cursor covers "everything at or below".
+  ReceiptStore gappy;
+  gappy.register_producer(kProducer, kKey);
+  ASSERT_EQ(gappy.ingest(seal(kProducer, 2, payload(4), kKey)),
+            IngestResult::kAccepted);
+  ASSERT_EQ(gappy.ingest(seal(kProducer, 5, payload(4), kKey)),
+            IngestResult::kAccepted);
+  gappy.register_consumer("v");
+  EXPECT_EQ(gappy.ack("v", kProducer, 3), AckResult::kAcked);
+  EXPECT_EQ(fetch_sequences(gappy, "v"), (std::vector<std::uint64_t>{5}));
+}
+
+TEST(StoreCursor, GcFiresOnlyAfterAllConsumersAck) {
+  ReceiptStore store = store_with(3);
+  store.register_consumer("fast");
+  store.register_consumer("slow");
+  const std::size_t bytes_before = store.stored_payload_bytes();
+
+  EXPECT_EQ(store.ack("fast", kProducer, 3), AckResult::kAcked);
+  EXPECT_EQ(store.stored_envelopes(), 3u)
+      << "one consumer's ack must not collect what the other still needs";
+  EXPECT_EQ(store.gc_floor(kProducer), 0u);
+
+  EXPECT_EQ(store.ack("slow", kProducer, 2), AckResult::kAcked);
+  EXPECT_EQ(store.gc_floor(kProducer), 2u);
+  EXPECT_EQ(store.stored_envelopes(), 1u);
+  EXPECT_EQ(store.gc_erased_count(), 2u);
+  EXPECT_LT(store.stored_payload_bytes(), bytes_before);
+  EXPECT_EQ(fetch_sequences(store, "slow"),
+            (std::vector<std::uint64_t>{3}));
+}
+
+TEST(StoreCursor, NoConsumersMeansNoGc) {
+  ReceiptStore store = store_with(4);
+  EXPECT_EQ(store.stored_envelopes(), 4u);
+  EXPECT_EQ(store.gc_floor(kProducer), 0u);
+  EXPECT_EQ(store.payloads_from(kProducer).size(), 4u);
+}
+
+TEST(StoreCursor, LateConsumerStartsAtGcFloor) {
+  ReceiptStore store = store_with(3);
+  store.register_consumer("v");
+  ASSERT_EQ(store.ack("v", kProducer, 2), AckResult::kAcked);
+  ASSERT_EQ(store.gc_floor(kProducer), 2u);
+
+  // The collected envelopes cannot be served to a late registrant: its
+  // cursor starts at the floor (documented), and acking below it
+  // regresses.
+  store.register_consumer("late");
+  EXPECT_EQ(store.cursor("late", kProducer), 2u);
+  EXPECT_EQ(fetch_sequences(store, "late"),
+            (std::vector<std::uint64_t>{3}));
+  EXPECT_EQ(store.ack("late", kProducer, 1), AckResult::kRegressed);
+
+  // The late consumer now gates further GC from its floor cursor.
+  ASSERT_EQ(store.ingest(seal(kProducer, 4, payload(4), kKey)),
+            IngestResult::kAccepted);
+  ASSERT_EQ(store.ack("v", kProducer, 4), AckResult::kAcked);
+  EXPECT_EQ(store.gc_floor(kProducer), 2u);
+  ASSERT_EQ(store.ack("late", kProducer, 3), AckResult::kAcked);
+  EXPECT_EQ(store.gc_floor(kProducer), 3u);
+}
+
+TEST(StoreCursor, StaleSequenceRejectionSurvivesGc) {
+  ReceiptStore store = store_with(3);
+  store.register_consumer("v");
+  ASSERT_EQ(store.ack("v", kProducer, 3), AckResult::kAcked);
+  ASSERT_EQ(store.stored_envelopes(), 0u) << "everything collected";
+
+  // A replayed (even authentically sealed) old envelope must still be
+  // rejected: the sequence history outlives the envelopes.
+  EXPECT_EQ(store.ingest(seal(kProducer, 2, payload(4), kKey)),
+            IngestResult::kStaleSequence);
+  EXPECT_EQ(store.ingest(seal(kProducer, 3, payload(4), kKey)),
+            IngestResult::kStaleSequence);
+  EXPECT_EQ(store.ingest(seal(kProducer, 4, payload(4), kKey)),
+            IngestResult::kAccepted);
+  EXPECT_EQ(fetch_sequences(store, "v"), (std::vector<std::uint64_t>{4}));
+}
+
+TEST(StoreCursor, SequenceZeroIsBelowTheCursorFloor) {
+  // Cursor 0 means "nothing acked": an envelope with sequence 0 could
+  // never be fetched through a cursor nor acked, so ingest rejects it.
+  ReceiptStore store;
+  store.register_producer(kProducer, kKey);
+  EXPECT_EQ(store.ingest(seal(kProducer, 0, payload(4), kKey)),
+            IngestResult::kStaleSequence);
+  EXPECT_EQ(store.ingest(seal(kProducer, 1, payload(4), kKey)),
+            IngestResult::kAccepted);
+}
+
+TEST(StoreCursor, ExporterRejectsSequenceZeroStart) {
+  EXPECT_THROW(WireExporter(WireExporter::Config{.producer = kProducer,
+                                                 .key = kKey,
+                                                 .first_sequence = 0},
+                            [](Envelope&&) {}),
+               std::invalid_argument);
+}
+
+TEST(StoreCursor, UnregisteredConsumerFetchThrows) {
+  const ReceiptStore store;
+  EXPECT_THROW(
+      store.fetch_from("ghost", kProducer,
+                       [](std::uint64_t, std::span<const std::byte>) {}),
+      std::invalid_argument);
+  EXPECT_THROW((void)store.cursor("ghost", kProducer), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vpm::dissem
