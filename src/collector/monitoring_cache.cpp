@@ -273,6 +273,20 @@ MonitoringCache::EvictResult MonitoringCache::evict_path_if_idle(
   return r;
 }
 
+MonitoringCache::DecayResult MonitoringCache::run_decay_pass() {
+  DecayResult r;
+  if (lifecycle_.decay_low_occupancy_drains == 0) return r;
+  for (std::size_t p = 0; p < state_.path_count(); ++p) {
+    const core::PathDecay d =
+        core::path_decay(state_, p, lifecycle_.decay_low_occupancy_drains);
+    r.halved_slices += d.halved_slices;
+    r.released_bytes += d.released_bytes;
+  }
+  lifecycle_totals_.decayed_slices += r.halved_slices;
+  lifecycle_totals_.decayed_arena_bytes += r.released_bytes;
+  return r;
+}
+
 bool MonitoringCache::compaction_due() const noexcept {
   const std::size_t total = state_.arena_bytes();
   if (total == 0) return false;
@@ -300,6 +314,11 @@ LifecycleReport MonitoringCache::run_lifecycle(net::Timestamp now,
       }
     }
   }
+  // Decay before the compaction check: the halves it releases count as
+  // garbage and can push this very pass over the watermark.
+  const DecayResult d = run_decay_pass();
+  report.decayed_slices += d.halved_slices;
+  report.decayed_arena_bytes += d.released_bytes;
   if (compaction_due()) {
     report.reclaimed_arena_bytes += compact_arenas();
     ++report.compactions;

@@ -164,6 +164,14 @@ struct LifecycleConfig {
   /// fraction of total arena bytes.  Must lie in [0, 1] — a watermark
   /// above capacity could never fire.
   double compact_garbage_fraction = 0.5;
+  /// Live-capacity decay (core::path_decay): halve a live path's
+  /// temp-buffer / J-ring slice once its occupancy has stayed below a
+  /// quarter of capacity for this many consecutive lifecycle passes,
+  /// flooring at the initial slice sizes.  The released half is arena
+  /// garbage for the same pass's compaction check — a traffic spike's
+  /// capacity ratchet decays back instead of pinning the memory plateau
+  /// at the spike level.  0 disables (the default).
+  std::uint32_t decay_low_occupancy_drains = 0;
 };
 
 /// What one lifecycle pass did (per-shard reports merge by addition).
@@ -173,12 +181,18 @@ struct LifecycleReport {
   std::size_t dropped_buffered_records = 0;
   std::size_t compactions = 0;
   std::size_t reclaimed_arena_bytes = 0;
+  /// Live-capacity decay: slices halved and the live-capacity bytes they
+  /// released to garbage.
+  std::size_t decayed_slices = 0;
+  std::size_t decayed_arena_bytes = 0;
 
   LifecycleReport& operator+=(const LifecycleReport& o) noexcept {
     evicted_paths += o.evicted_paths;
     dropped_buffered_records += o.dropped_buffered_records;
     compactions += o.compactions;
     reclaimed_arena_bytes += o.reclaimed_arena_bytes;
+    decayed_slices += o.decayed_slices;
+    decayed_arena_bytes += o.decayed_arena_bytes;
     return *this;
   }
 };
@@ -250,6 +264,16 @@ class MonitoringCache {
   };
   EvictResult evict_path_if_idle(std::size_t path, net::Timestamp now,
                                  core::ReceiptSink& sink);
+
+  /// One live-capacity decay observation for every path
+  /// (core::path_decay with the configured streak).  run_lifecycle calls
+  /// this between eviction and the compaction check; exposed so a sharded
+  /// collector can run per-shard passes.  No-op when the decay knob is 0.
+  struct DecayResult {
+    std::size_t halved_slices = 0;
+    std::size_t released_bytes = 0;
+  };
+  DecayResult run_decay_pass();
 
   /// True when arena garbage exceeds the configured watermark fraction.
   [[nodiscard]] bool compaction_due() const noexcept;

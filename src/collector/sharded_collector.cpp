@@ -318,6 +318,12 @@ LifecycleReport ShardedCollector::run_lifecycle(net::Timestamp now,
     }
   }
   for (Shard& shard : shards_) {
+    if (!shard.cache) continue;
+    const MonitoringCache::DecayResult d = shard.cache->run_decay_pass();
+    report.decayed_slices += d.halved_slices;
+    report.decayed_arena_bytes += d.released_bytes;
+  }
+  for (Shard& shard : shards_) {
     if (shard.cache && shard.cache->compaction_due()) {
       report.reclaimed_arena_bytes += shard.cache->compact_arenas();
       ++report.compactions;

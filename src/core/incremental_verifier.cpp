@@ -74,22 +74,46 @@ void IncrementalPathVerifier::feed_domain(Pair& p, bool is_up,
   if (is_up) {
     // Ingress side: remember every sampled packet's time (markers
     // included — the batch matcher indexes them too; first record wins on
-    // a digest collision, as emplace does there).
+    // a digest collision, as emplace does there).  Records for one digest
+    // arrive in stream order, so the first resident record is always the
+    // stream-first one — matching against it here gives the same delay
+    // the batch matcher computes, whichever side was fed first.
     for (const SampleRecord& s : round.samples.samples) {
       p.delay.ingress_times.emplace(s.pkt_id,
                                     DelayState::Entry{s.time, clock});
     }
+    // Resolve egress samples that were buffered waiting for this side.
+    std::vector<DelayState::PendingEgress>& pe = p.delay.pending_egress;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < pe.size(); ++i) {
+      const auto it = p.delay.ingress_times.find(pe[i].digest);
+      if (it == p.delay.ingress_times.end()) {
+        pe[keep++] = pe[i];
+        continue;
+      }
+      it->second.matched = true;
+      p.delay.delays.emplace_back(
+          pe[i].order, (pe[i].time - it->second.time).milliseconds());
+    }
+    pe.resize(keep);
     p.loss.tail.up.insert(p.loss.tail.up.end(), round.aggregates.begin(),
                           round.aggregates.end());
   } else {
-    // Egress side: a packet reaches the egress HOP after the ingress one
-    // and markers sweep it there no earlier, so its ingress record is
-    // already here (feed upstream HOPs first within a reporting round).
+    // Egress side: under lockstep feeding (upstream HOPs first within a
+    // reporting round) the ingress record is already resident.  When the
+    // HOPs' fetch loops drift apart, buffer the sample instead of losing
+    // the match — the ingress round is late, not absent.
     for (const SampleRecord& s : round.samples.samples) {
+      const std::uint64_t order = p.delay.egress_seen++;
       const auto it = p.delay.ingress_times.find(s.pkt_id);
-      if (it == p.delay.ingress_times.end()) continue;
+      if (it == p.delay.ingress_times.end()) {
+        p.delay.pending_egress.push_back(
+            DelayState::PendingEgress{s.pkt_id, s.time, order, clock});
+        continue;
+      }
       it->second.matched = true;
-      p.delay.delays.push_back((s.time - it->second.time).milliseconds());
+      p.delay.delays.emplace_back(
+          order, (s.time - it->second.time).milliseconds());
     }
     p.loss.tail.down.insert(p.loss.tail.down.end(), round.aggregates.begin(),
                             round.aggregates.end());
@@ -143,6 +167,18 @@ void IncrementalPathVerifier::settle_pair(Pair& p) {
         ++it;
       }
     }
+    // Buffered egress samples age out on the same clock: an upstream
+    // round still absent past retention is a gap, not a late fetch.
+    std::vector<DelayState::PendingEgress>& pe = p.delay.pending_egress;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < pe.size(); ++i) {
+      if (expired(pe[i].round)) {
+        ++p.delay.expired;
+      } else {
+        pe[keep++] = pe[i];
+      }
+    }
+    pe.resize(keep);
     return;
   }
 
@@ -194,9 +230,14 @@ void IncrementalPathVerifier::settle_pair(Pair& p) {
   }
 }
 
+void IncrementalPathVerifier::report_gap(RoundGap gap) {
+  gaps_.push_back(std::move(gap));
+}
+
 PathAnalysis IncrementalPathVerifier::analyze() const {
   const PathLayout& layout = cfg_.layout;
   PathAnalysis analysis;
+  analysis.gaps = gaps_;
 
   for (const Pair& p : pairs_) {
     const net::HopId a = layout.hops[p.up_pos];
@@ -209,7 +250,17 @@ PathAnalysis IncrementalPathVerifier::analyze() const {
       f.ingress = a;
       f.egress = b;
       if (have_both) {
-        f.delay.sample_delays_ms = p.delay.delays;
+        // Matches recorded out of feed order (a buffered egress sample
+        // resolved by a late ingress round) carry their egress stream
+        // position — sorting restores egress observation order, the
+        // order the batch matcher reports.
+        std::vector<std::pair<std::uint64_t, double>> ordered =
+            p.delay.delays;
+        std::sort(ordered.begin(), ordered.end());
+        f.delay.sample_delays_ms.reserve(ordered.size());
+        for (const auto& [order, ms] : ordered) {
+          f.delay.sample_delays_ms.push_back(ms);
+        }
         f.delay.common_samples = p.delay.delays.size();
         if (f.delay.common_samples > 0) {
           stats::QuantileEstimator estimator;
@@ -310,6 +361,7 @@ IncrementalPathVerifier::resident_stats() const {
   for (const Pair& p : pairs_) {
     if (p.is_domain) {
       out.pending_ingress_samples += p.delay.ingress_times.size();
+      out.pending_egress_samples += p.delay.pending_egress.size();
       out.retained_delays += p.delay.delays.size();
       out.tail_aggregate_receipts += p.loss.tail.receipt_count();
       out.retained_aligned_groups += p.loss.groups.size();

@@ -76,10 +76,24 @@ class IncrementalPathVerifier {
   /// cross-HOP matching retire state immediately.
   void add_round(net::HopId hop, PathDrain round);
 
+  /// Record a dissemination gap: reporting round(s) from one HOP that
+  /// were lost or corrupted in transit and will never be fed.  The
+  /// verifier keeps running on whatever does arrive — cross-HOP state
+  /// whose counterpart fell in the gap ages out through the normal
+  /// retention path — and analyze() surfaces the gap verbatim so no
+  /// absence is silent (ISSUE 6 graceful degradation).
+  void report_gap(RoundGap gap);
+
+  /// Gaps reported so far, in report order.
+  [[nodiscard]] const std::vector<RoundGap>& gaps() const noexcept {
+    return gaps_;
+  }
+
   /// The Fig.-1-style analysis over everything ingested so far —
   /// non-destructive, callable every round.  HOPs with no rounds yet
   /// yield empty findings (partial deployment, exactly like the
-  /// materialized analyze()).
+  /// materialized analyze()).  Reported gaps are copied into
+  /// PathAnalysis::gaps.
   [[nodiscard]] PathAnalysis analyze() const;
 
   [[nodiscard]] std::uint64_t rounds_ingested(net::HopId hop) const;
@@ -90,6 +104,9 @@ class IncrementalPathVerifier {
   /// verbatim in the findings).
   struct ResidentStats {
     std::size_t pending_ingress_samples = 0;
+    /// Egress samples buffered for an upstream round still in transit —
+    /// nonzero only while cross-HOP feeds are out of order.
+    std::size_t pending_egress_samples = 0;
     std::size_t pending_sample_rounds = 0;
     std::size_t tail_aggregate_receipts = 0;
     std::size_t retained_delays = 0;
@@ -116,8 +133,24 @@ class IncrementalPathVerifier {
       std::uint64_t round;   ///< pair clock when inserted
       bool matched = false;  ///< some egress sample paired with it
     };
+    /// An egress sample whose ingress twin has not been fed yet.  Each
+    /// HOP's stream arrives through its own fetch loop, so a downstream
+    /// round can land polls before its upstream counterpart (backoff, gap
+    /// patience); buffering this side symmetrically makes the match
+    /// independent of cross-HOP feed order within the retention window.
+    struct PendingEgress {
+      net::PacketDigest digest = 0;
+      net::Timestamp time;
+      std::uint64_t order = 0;  ///< position in the egress sample stream
+      std::uint64_t round = 0;  ///< pair clock when buffered
+    };
     std::unordered_map<net::PacketDigest, Entry> ingress_times;
-    std::vector<double> delays;  ///< matched, egress observation order
+    std::vector<PendingEgress> pending_egress;  ///< egress stream order
+    /// Matched (egress stream position, delay ms).  analyze() sorts by
+    /// position, so the reported delays read in egress observation order
+    /// no matter which side of the pair was fed first.
+    std::vector<std::pair<std::uint64_t, double>> delays;
+    std::uint64_t egress_seen = 0;  ///< egress samples processed
     std::uint64_t expired = 0;
   };
 
@@ -168,6 +201,7 @@ class IncrementalPathVerifier {
 
   Config cfg_;
   std::vector<Pair> pairs_;
+  std::vector<RoundGap> gaps_;
   std::unordered_map<net::HopId, std::uint64_t> rounds_;
   std::unordered_map<net::HopId, HopInfo> hop_info_;
 };

@@ -319,6 +319,57 @@ std::size_t path_state_compact(PathStateSoA& s) {
   return before - s.arena_bytes();
 }
 
+PathDecay path_decay(PathStateSoA& s, std::size_t path,
+                     std::uint32_t low_streak) {
+  PathDecay out;
+  if (low_streak == 0) return out;
+  PathSlot& slot = s.slots[path];
+  PathStats& st = s.stats[path];
+
+  // Temp buffer: live records always occupy the slice front, so halving
+  // is pure bookkeeping — the tail half just stops being addressed.
+  if (slot.warm.buf_cap > kBufInitialCap &&
+      std::uint64_t{slot.hot.buf_size} * 4 < slot.warm.buf_cap) {
+    if (++st.buf_low_streak >= low_streak) {
+      const std::uint32_t released = slot.warm.buf_cap / 2;
+      slot.warm.buf_cap -= released;
+      st.buf_low_streak = 0;
+      ++out.halved_slices;
+      out.released_bytes += released * sizeof(TimedDigest);
+    }
+  } else {
+    st.buf_low_streak = 0;
+  }
+
+  // J-ring: occupancy below a quarter means the survivors fit the front
+  // half with room to spare.  Linearise them there through a temp copy
+  // (a wrapped ring's masked source positions can collide with already-
+  // written destinations) — the same entries-to-front transformation
+  // grow_ring applies, so this is receipt-invisible.
+  if (slot.warm.ring_cap > kRingInitialCap &&
+      std::uint64_t{slot.hot.ring_size} * 4 < slot.warm.ring_cap) {
+    if (++st.ring_low_streak >= low_streak) {
+      const std::uint32_t mask = slot.warm.ring_cap - 1;
+      std::vector<TimedDigest> live(slot.hot.ring_size);
+      for (std::uint32_t i = 0; i < slot.hot.ring_size; ++i) {
+        live[i] = s.ring_arena[slot.warm.ring_begin +
+                               ((slot.hot.ring_head + i) & mask)];
+      }
+      std::copy(live.begin(), live.end(),
+                s.ring_arena.begin() + slot.warm.ring_begin);
+      const std::uint32_t released = slot.warm.ring_cap / 2;
+      slot.warm.ring_cap -= released;
+      slot.hot.ring_head = 0;
+      st.ring_low_streak = 0;
+      ++out.halved_slices;
+      out.released_bytes += released * sizeof(TimedDigest);
+    }
+  } else {
+    st.ring_low_streak = 0;
+  }
+  return out;
+}
+
 SampleReceipt path_collect_samples(PathStateSoA& s, std::size_t path,
                                    const net::PathId& id) {
   SampleReceipt r;

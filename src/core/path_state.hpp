@@ -121,6 +121,11 @@ struct PathStats {
   /// was never resolved by a marker) — keeps the observed-packet
   /// derivation honest across evictions.
   std::uint64_t dropped_buffered = 0;
+  /// Consecutive lifecycle passes the temp buffer / J-ring spent below a
+  /// quarter of capacity — path_decay's trigger state, reset by any busy
+  /// pass and after each halving.  Touched only at lifecycle passes.
+  std::uint32_t buf_low_streak = 0;
+  std::uint32_t ring_low_streak = 0;
 };
 
 /// A closed aggregate before PathId stamping (the HopMonitor /
@@ -263,6 +268,26 @@ std::size_t path_evict(PathStateSoA& s, std::size_t path);
 /// O(1)) and linearising rings (head -> 0, as slice growth already does).
 /// Receipt-invisible.  Returns the arena bytes reclaimed.
 std::size_t path_state_compact(PathStateSoA& s);
+
+/// What one path_decay call did.
+struct PathDecay {
+  std::size_t halved_slices = 0;   ///< 0..2 (temp buffer and/or J-ring)
+  std::size_t released_bytes = 0;  ///< live capacity turned to garbage
+};
+
+/// Live-capacity decay — the shrink half of the grow-by-doubling slices.
+/// One lifecycle observation of `path`'s slice occupancy: a slice whose
+/// occupancy has stayed strictly below a QUARTER of its capacity for
+/// `low_streak` consecutive observations is halved — in place for the
+/// temp buffer (live records already sit at the slice front) and by
+/// linearising for the J-ring (entries move to the slice front, head
+/// resets, capacity stays a power of two) — flooring at the initial
+/// slice sizes.  The released half becomes arena garbage that the next
+/// path_state_compact reclaims, so a traffic spike's capacity ratchet
+/// decays back down instead of pinning arena_live_bytes at the spike
+/// level forever.  Receipt-invisible.  `low_streak == 0` disables.
+PathDecay path_decay(PathStateSoA& s, std::size_t path,
+                     std::uint32_t low_streak);
 
 // --- Per-packet kernels ---------------------------------------------------
 //

@@ -75,7 +75,12 @@ class VectorSink final : public ReceiptSink {
   [[nodiscard]] const std::vector<IndexedPathDrain>& stream() const noexcept {
     return stream_;
   }
+  /// Surrender the stream and reset.  The trailing group may be half
+  /// assembled (taken mid-path while the feeder abandons a broken round);
+  /// clearing the open flag here is what lets the feeder's next
+  /// begin_path start clean instead of tripping the pairing check.
   [[nodiscard]] std::vector<IndexedPathDrain> take() && {
+    open_ = false;
     return std::move(stream_);
   }
 

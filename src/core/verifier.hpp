@@ -112,15 +112,42 @@ struct LinkFinding {
   friend bool operator==(const LinkFinding&, const LinkFinding&) = default;
 };
 
+/// A stretch of a producer's receipt stream that never reached the
+/// verifier intact (ISSUE 6's graceful-degradation contract).  Lost or
+/// corrupt envelopes do NOT silently deform findings: the consumer skips
+/// the affected reporting round(s), records the damage here, and
+/// resynchronizes at the next round mark.  Findings over fully-delivered
+/// rounds stay exact; the gap is the explicit record of what is missing.
+struct RoundGap {
+  enum class Cause : std::uint8_t {
+    kLost,     ///< envelope(s) never arrived (dropped, MAC-rejected)
+    kCorrupt,  ///< envelope arrived but its payload failed fatal decode
+  };
+  std::string producer;              ///< producer domain of the stream
+  net::HopId hop = net::kNoHop;      ///< HOP whose rounds are missing
+  std::uint64_t first_sequence = 0;  ///< envelope sequence range [first,
+  std::uint64_t last_sequence = 0;   ///<   last] covered by the gap
+  Cause cause = Cause::kLost;
+  /// Wire path keys whose receipts were discarded during resync (empty
+  /// for a pure loss — nothing was decoded to attribute).
+  std::vector<std::uint64_t> affected_paths;
+  friend bool operator==(const RoundGap&, const RoundGap&) = default;
+};
+
 struct PathAnalysis {
   std::vector<DomainFinding> domains;  ///< transit domains only
   std::vector<LinkFinding> links;
+  /// Reporting rounds lost or corrupted in dissemination, in report
+  /// order.  Empty on a fault-free (or fully-recovered) stream.
+  std::vector<RoundGap> gaps;
   [[nodiscard]] bool all_links_consistent() const noexcept {
     for (const LinkFinding& l : links) {
       if (!l.report.consistent()) return false;
     }
     return true;
   }
+  /// True when every reporting round reached the verifier intact.
+  [[nodiscard]] bool complete() const noexcept { return gaps.empty(); }
   friend bool operator==(const PathAnalysis&, const PathAnalysis&) = default;
 };
 

@@ -1,6 +1,7 @@
 #include "dissem/receipt_store.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 namespace vpm::dissem {
@@ -15,6 +16,8 @@ const char* to_string(IngestResult r) {
       return "bad authenticator";
     case IngestResult::kStaleSequence:
       return "stale sequence";
+    case IngestResult::kDuplicate:
+      return "duplicate sequence";
   }
   return "unknown";
 }
@@ -39,42 +42,53 @@ void ReceiptStore::register_producer(DomainId producer, DomainKey key) {
   keys_[producer] = key;
 }
 
-IngestResult ReceiptStore::ingest(Envelope envelope) {
+IngestOutcome ReceiptStore::ingest(Envelope envelope) {
+  IngestOutcome out;
+  out.got_sequence = envelope.sequence;
+  const auto floor_it = gc_floor_.find(envelope.producer);
+  const std::uint64_t floor =
+      floor_it == gc_floor_.end() ? 0 : floor_it->second;
+  out.expected_sequence = floor + 1;
+
   const auto key_it = keys_.find(envelope.producer);
   if (key_it == keys_.end()) {
     ++rejected_;
-    return IngestResult::kUnknownProducer;
+    out.result = IngestResult::kUnknownProducer;
+    return out;
   }
   if (!verify(envelope, key_it->second)) {
     ++rejected_;
-    return IngestResult::kBadAuthenticator;
+    out.result = IngestResult::kBadAuthenticator;
+    return out;
   }
   // Sequence 0 sits below the cursor sentinel (cursor 0 == "nothing
   // acked"): it could never be fetched through a cursor nor acked, so it
   // would be silently lost to every consumer — reject it like any other
-  // below-floor sequence.
-  if (envelope.sequence == 0) {
+  // at-or-below-floor sequence.  The floor test is the replay/rollback
+  // rejection over an out-of-order transport: collection only erases
+  // sequences <= floor, so anything above the floor that is absent from
+  // stored_ was genuinely never accepted (a reordered fresh envelope),
+  // while a replayed collected envelope lands at or below the floor.
+  if (envelope.sequence <= floor) {
     ++rejected_;
-    return IngestResult::kStaleSequence;
+    out.result = IngestResult::kStaleSequence;
+    return out;
   }
-  // Replay/rollback rejection keys off the accepted-sequence HISTORY, not
-  // the retained envelopes: garbage collection empties stored_, and an
-  // emptiness test here would re-admit a replayed old envelope the moment
-  // its original was collected.
-  const auto last_it = last_sequence_.find(envelope.producer);
-  if (last_it != last_sequence_.end() &&
-      envelope.sequence <= last_it->second) {
+  auto& retained = stored_[envelope.producer];
+  if (retained.contains(envelope.sequence)) {
     ++rejected_;
-    return IngestResult::kStaleSequence;
+    out.result = IngestResult::kDuplicate;
+    return out;
   }
-  last_sequence_[envelope.producer] = envelope.sequence;
-  const DomainId producer = envelope.producer;
+  auto& last = last_sequence_[envelope.producer];
+  last = std::max(last, envelope.sequence);
   const std::uint64_t sequence = envelope.sequence;
   stored_payload_bytes_ += envelope.payload.size();
   ++stored_envelopes_;
-  stored_[producer].emplace(sequence, std::move(envelope));
+  retained.emplace(sequence, std::move(envelope));
   ++accepted_;
-  return IngestResult::kAccepted;
+  out.result = IngestResult::kAccepted;
+  return out;
 }
 
 std::vector<std::vector<std::byte>> ReceiptStore::payloads_from(
@@ -125,30 +139,60 @@ void ReceiptStore::fetch_from(
   }
   const auto it = stored_.find(producer);
   if (it == stored_.end()) return;
+  // A reference, not the iterator: `visit` may ingest (rehashing stored_
+  // invalidates unordered_map iterators) — the mapped std::map itself is
+  // stable.
+  auto& envs = it->second;
   const std::uint64_t cur = effective_cursor(cons_it->second, producer);
-  // Resume strictly after the cursor: upper_bound of the acked sequence.
-  for (auto env_it = it->second.upper_bound(cur); env_it != it->second.end();
-       ++env_it) {
-    visit(env_it->first, env_it->second.payload);
+  // Resume strictly after the cursor, re-finding the successor BY KEY
+  // after every visit: a cursor consumer legitimately acks at round
+  // boundaries mid-walk, and the ack's garbage collection erases the map
+  // node the walk just visited — incrementing that iterator would walk a
+  // freed Rb-tree node (release-build segfault; ASan misses it because
+  // the increment runs inside uninstrumented libstdc++).
+  auto env_it = envs.upper_bound(cur);
+  while (env_it != envs.end()) {
+    const std::uint64_t seq = env_it->first;
+    visit(seq, env_it->second.payload);
+    env_it = envs.upper_bound(seq);
   }
 }
 
-AckResult ReceiptStore::ack(const std::string& consumer, DomainId producer,
-                            std::uint64_t sequence) {
+AckOutcome ReceiptStore::ack(const std::string& consumer, DomainId producer,
+                             std::uint64_t sequence) {
+  AckOutcome out;
+  out.got_sequence = sequence;
   const auto cons_it = cursors_.find(consumer);
-  if (cons_it == cursors_.end()) return AckResult::kUnknownConsumer;
-  if (!keys_.contains(producer)) return AckResult::kUnknownProducer;
+  if (cons_it == cursors_.end()) {
+    out.result = AckResult::kUnknownConsumer;
+    return out;
+  }
+  if (!keys_.contains(producer)) {
+    out.result = AckResult::kUnknownProducer;
+    return out;
+  }
   const std::uint64_t cur = effective_cursor(cons_it->second, producer);
-  if (sequence < cur) return AckResult::kRegressed;
+  if (sequence < cur) {
+    out.result = AckResult::kRegressed;
+    out.expected_sequence = cur;
+    return out;
+  }
   const auto last_it = last_sequence_.find(producer);
   const std::uint64_t last =
       last_it == last_sequence_.end() ? 0 : last_it->second;
-  if (sequence > last) return AckResult::kAhead;
+  if (sequence > last) {
+    out.result = AckResult::kAhead;
+    out.expected_sequence = last;
+    return out;
+  }
   if (sequence > cur) {
     cons_it->second[producer] = sequence;
     collect_garbage(producer);
   }
-  return AckResult::kAcked;
+  out.result = AckResult::kAcked;
+  out.expected_sequence =
+      effective_cursor(cons_it->second, producer);
+  return out;
 }
 
 std::uint64_t ReceiptStore::cursor(const std::string& consumer,
@@ -164,6 +208,20 @@ std::uint64_t ReceiptStore::cursor(const std::string& consumer,
 std::uint64_t ReceiptStore::gc_floor(DomainId producer) const {
   const auto it = gc_floor_.find(producer);
   return it == gc_floor_.end() ? 0 : it->second;
+}
+
+std::size_t ReceiptStore::consumer_lag(const std::string& consumer,
+                                       DomainId producer) const {
+  const auto cons_it = cursors_.find(consumer);
+  if (cons_it == cursors_.end()) {
+    throw std::invalid_argument("ReceiptStore: unregistered consumer \"" +
+                                consumer + "\"");
+  }
+  const auto it = stored_.find(producer);
+  if (it == stored_.end()) return 0;
+  const std::uint64_t cur = effective_cursor(cons_it->second, producer);
+  return static_cast<std::size_t>(
+      std::distance(it->second.upper_bound(cur), it->second.end()));
 }
 
 void ReceiptStore::collect_garbage(DomainId producer) {

@@ -3,9 +3,13 @@
 //
 // Ingest enforces the security contract: a batch is accepted only if its
 // envelope verifies under the producer's registered key and its sequence
-// number advances (replay/rollback rejection — the sequence history
-// survives garbage collection, so a replayed old envelope is rejected even
-// after its original was collected).  Consumers fetch by producer; payload
+// is NEW — above the producer's GC floor and not already retained.  The
+// floor-based rule gives replay/rollback rejection over an out-of-order
+// transport (ISSUE 6): reordered fresh envelopes file into place, an
+// envelope replayed while its original is retained dedupes (kDuplicate),
+// and one replayed after collection falls at or below the floor
+// (kStaleSequence) — collection never erases above the floor, so the three
+// cases are exhaustive.  Consumers fetch by producer; payload
 // interpretation (receipt batch decoding) stays with the caller, which
 // owns the PathId table.
 //
@@ -37,7 +41,8 @@ enum class IngestResult : std::uint8_t {
   kAccepted,
   kUnknownProducer,
   kBadAuthenticator,
-  kStaleSequence,
+  kStaleSequence,  ///< at or below the GC floor: replay or unusable seq 0
+  kDuplicate,      ///< already retained — idempotent no-op, not an attack
 };
 
 [[nodiscard]] const char* to_string(IngestResult r);
@@ -52,14 +57,51 @@ enum class AckResult : std::uint8_t {
 
 [[nodiscard]] const char* to_string(AckResult r);
 
+/// ingest()'s verdict plus the sequence arithmetic behind it, so retry
+/// loops can log something actionable ("got 7, floor is 12") instead of a
+/// bare enum.  Compares directly against IngestResult: existing
+/// `ingest(...) == IngestResult::kAccepted` call sites keep working.
+struct IngestOutcome {
+  IngestResult result = IngestResult::kAccepted;
+  /// Lowest sequence the store could still accept from this producer
+  /// (GC floor + 1) at the time of the call.
+  std::uint64_t expected_sequence = 0;
+  std::uint64_t got_sequence = 0;  ///< the envelope's sequence
+  friend bool operator==(const IngestOutcome& o, IngestResult r) noexcept {
+    return o.result == r;
+  }
+  friend bool operator==(const IngestOutcome&,
+                         const IngestOutcome&) = default;
+};
+
+/// ack()'s verdict with the expected-vs-got sequences (kRegressed: got <
+/// the consumer's effective cursor; kAhead: got > the producer's head).
+struct AckOutcome {
+  AckResult result = AckResult::kAcked;
+  /// kRegressed: the consumer's effective cursor; kAhead: the producer's
+  /// last accepted sequence; kAcked: the cursor after the call.
+  std::uint64_t expected_sequence = 0;
+  std::uint64_t got_sequence = 0;  ///< the sequence passed in
+  friend bool operator==(const AckOutcome& o, AckResult r) noexcept {
+    return o.result == r;
+  }
+  friend bool operator==(const AckOutcome&, const AckOutcome&) = default;
+};
+
 class ReceiptStore {
  public:
   /// Register (or rotate) a producer's key.  Later envelopes must verify
   /// under the latest key.
   void register_producer(DomainId producer, DomainKey key);
 
-  /// Validate and file an envelope.
-  IngestResult ingest(Envelope envelope);
+  /// Validate and file an envelope.  Arrival order is NOT assumed: a
+  /// verified envelope is accepted at any sequence above the producer's
+  /// GC floor that is not already retained (reordered delivery must not
+  /// turn into loss — ISSUE 6).  Replay protection is complete without
+  /// extra state: collection only ever erases sequences at or below the
+  /// floor, so a replayed collected envelope falls at or below the floor
+  /// (kStaleSequence) and a replayed retained one is kDuplicate.
+  IngestOutcome ingest(Envelope envelope);
 
   /// All accepted *retained* payloads from `producer`, in sequence order,
   /// as OWNING copies.  (This used to return spans into the stored
@@ -92,9 +134,13 @@ class ReceiptStore {
   /// Visit `producer`'s retained payloads with sequence numbers AFTER the
   /// consumer's cursor, in sequence order, as (sequence, payload) pairs.
   /// Fetch does not advance the cursor — re-fetching without ack() serves
-  /// the same envelopes again (at-least-once delivery).  Throws
-  /// std::invalid_argument for an unregistered consumer; an unknown
-  /// producer visits nothing.
+  /// the same envelopes again (at-least-once delivery).  `visit` MAY call
+  /// back into the store (a cursor consumer acks at round boundaries
+  /// mid-walk; the triggered garbage collection is safe because the walk
+  /// re-finds its successor by key, never through a possibly-erased
+  /// node), but the payload span borrows the stored envelope: consume it
+  /// BEFORE any ack that could collect it.  Throws std::invalid_argument
+  /// for an unregistered consumer; an unknown producer visits nothing.
   void fetch_from(const std::string& consumer, DomainId producer,
                   core::FunctionRef<void(std::uint64_t,
                                          std::span<const std::byte>)>
@@ -107,8 +153,8 @@ class ReceiptStore {
   /// both rejected without moving the cursor.  A successful ack runs
   /// garbage collection for the producer (envelopes every registered
   /// consumer has acknowledged are erased).
-  AckResult ack(const std::string& consumer, DomainId producer,
-                std::uint64_t sequence);
+  AckOutcome ack(const std::string& consumer, DomainId producer,
+                 std::uint64_t sequence);
 
   /// The consumer's effective cursor for `producer` (max of its explicit
   /// acks and the producer's GC floor).  Throws std::invalid_argument for
@@ -118,6 +164,13 @@ class ReceiptStore {
 
   /// Highest sequence of `producer` collected so far (0 before any GC).
   [[nodiscard]] std::uint64_t gc_floor(DomainId producer) const;
+
+  /// Envelopes of `producer` retained beyond the consumer's cursor — how
+  /// far behind the head this consumer is, in envelopes it could fetch
+  /// right now.  0 means fully caught up.  Throws std::invalid_argument
+  /// for an unregistered consumer; an unknown producer reads as 0.
+  [[nodiscard]] std::size_t consumer_lag(const std::string& consumer,
+                                         DomainId producer) const;
 
   // --- accounting ---------------------------------------------------------
 

@@ -1,5 +1,6 @@
 #include "dissem/wire_importer.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -54,6 +55,42 @@ void WireImporter::Session::finish() {
   finished_ = true;
 }
 
+void WireImporter::Session::resync() {
+  if (finished_) {
+    throw std::logic_error("WireImporter::Session: resync after finish");
+  }
+  if (cur_.active) note_skipped(cur_.key);
+  cur_ = Assembly{};
+  poisoned_ = false;
+  skipping_ = true;
+}
+
+std::vector<std::uint64_t> WireImporter::Session::take_skipped_keys() {
+  std::vector<std::uint64_t> out;
+  out.swap(skipped_keys_);
+  return out;
+}
+
+void WireImporter::Session::note_skipped(std::uint64_t key) {
+  if (std::find(skipped_keys_.begin(), skipped_keys_.end(), key) ==
+      skipped_keys_.end()) {
+    skipped_keys_.push_back(key);
+  }
+}
+
+void WireImporter::Session::prescan(std::span<const std::byte> payload) {
+  net::ByteReader in(payload);
+  (void)in.u8();  // chunk tag: value checked in the decode pass
+  const std::uint32_t sections = in.u32();
+  for (std::uint32_t s = 0; s < sections; ++s) {
+    (void)in.u8();
+    (void)in.u64();
+    in.skip(in.u32());
+  }
+  // Trailing bytes are NOT a truncation: the decode pass rejects them as
+  // fatal.  Prescan only proves every declared byte is present.
+}
+
 void WireImporter::Session::feed(std::span<const std::byte> payload) {
   if (finished_) {
     throw std::logic_error("WireImporter::Session: feed after finish");
@@ -61,12 +98,26 @@ void WireImporter::Session::feed(std::span<const std::byte> payload) {
   if (poisoned_) {
     throw std::logic_error(
         "WireImporter::Session: feed after a decode error poisoned the "
-        "session");
+        "session (resync() to recover at the next round mark)");
   }
-  // Poison-until-proven-good: a WireError can fire mid-chunk with the
-  // assembly half mutated and sections already emitted; a caller that
-  // catches it must not resume from that state.
+  // Transient tier: prove the payload byte-complete before touching any
+  // state.  A truncated fetch fails HERE with a transient WireError and
+  // the session stays exactly as it was — retry with the full payload.
+  prescan(payload);
+  // Fatal tier: the payload is complete, so any decode error below is a
+  // content error retrying cannot fix.  Poison-until-proven-good: a
+  // WireError can fire mid-chunk with the assembly half mutated and
+  // sections already emitted; a caller that catches it must resync().
   poisoned_ = true;
+  try {
+    decode_chunk(payload);
+  } catch (const net::WireError& e) {
+    throw net::WireError(e.what(), net::WireError::Severity::kFatal);
+  }
+  poisoned_ = false;
+}
+
+void WireImporter::Session::decode_chunk(std::span<const std::byte> payload) {
   net::ByteReader in(payload);
   if (in.u8() != kChunkTag) {
     throw net::WireError("expected receipt chunk tag");
@@ -88,6 +139,15 @@ void WireImporter::Session::feed(std::span<const std::byte> payload) {
       }
       close_path();
       seen_.assign(seen_.size(), false);
+      skipping_ = false;  // resync target found: rounds realign here
+      continue;
+    }
+
+    if (skipping_) {
+      // Resync walk: sections are self-framing, so skip content without
+      // decoding it — but record whose receipts are being discarded.
+      note_skipped(key);
+      in.skip(length);
       continue;
     }
 
@@ -176,7 +236,6 @@ void WireImporter::Session::feed(std::span<const std::byte> payload) {
   if (!in.done()) {
     throw net::WireError("trailing bytes after the chunk's sections");
   }
-  poisoned_ = false;
 }
 
 void WireImporter::import_into(const ReceiptStore& store, DomainId producer,

@@ -69,6 +69,12 @@ class WireImporter {
     return paths_.size();
   }
 
+  /// The PathId at a decoded drain's path index (throws std::out_of_range
+  /// on a bad index) — lets consumers map sink indices back to wire keys.
+  [[nodiscard]] const net::PathId& path_at(std::size_t index) const {
+    return paths_.at(index);
+  }
+
   /// Stateful incremental decode: feed one producer's chunk payloads in
   /// sequence order ACROSS fetches — the cursor-consumer loop
   ///
@@ -86,10 +92,15 @@ class WireImporter {
    public:
     Session(const WireImporter& importer, core::ReceiptSink& sink);
 
-    /// Decode one accepted chunk payload.  Throws net::WireError on
-    /// malformed input; the session is then POISONED — the assembly may
-    /// be half mutated, so every later feed() throws std::logic_error
-    /// (the producer's stream cannot be trusted past a framing error).
+    /// Decode one accepted chunk payload.  Error handling is two-tier
+    /// (ISSUE 6): a payload whose section framing does not byte-complete
+    /// (a truncated fetch) throws a TRANSIENT net::WireError *before any
+    /// state is touched* — the session stays usable and the same feed
+    /// retried with the full payload decodes normally.  A structurally
+    /// complete payload that fails decode throws a FATAL WireError and
+    /// POISONS the session: the assembly may be half mutated and sections
+    /// already emitted, so feed()/finish() then throw std::logic_error
+    /// until resync() abandons the damaged round.
     void feed(std::span<const std::byte> payload);
 
     /// Close the path left open by a stream that did not end at a round
@@ -97,6 +108,35 @@ class WireImporter {
     /// on a poisoned session throws rather than emit the half-decoded
     /// assembly.
     void finish();
+
+    /// Gap recovery: discard the in-progress assembly (and clear poison)
+    /// and skip every subsequent section until the next explicit round
+    /// mark, where normal decoding resumes.  Call after a FATAL feed()
+    /// (corrupt content) or after envelopes were lost upstream and the
+    /// next available payload may start mid-round.  Path keys whose
+    /// sections are discarded accumulate for take_skipped_keys(), so the
+    /// caller can attribute the gap.  Throws after finish().
+    void resync();
+
+    /// True while resync() is still hunting for the next round mark.
+    [[nodiscard]] bool resyncing() const noexcept { return skipping_; }
+
+    /// True after a fatal decode error, until resync().
+    [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+
+    /// True when the stream sits exactly on a reporting-round boundary:
+    /// nothing half assembled, not poisoned, not resyncing.  After a
+    /// feed() this holds iff the payload ended with a round mark — the
+    /// safe point for a consumer to deliver buffered rounds and ack
+    /// (crash-resume alignment).
+    [[nodiscard]] bool at_round_boundary() const noexcept {
+      return !cur_.active && !poisoned_ && !skipping_;
+    }
+
+    /// Wire path keys of sections discarded by resync skipping (deduped,
+    /// first-skip order), including a half-assembled path abandoned by
+    /// resync() itself.  Draining resets the list.
+    [[nodiscard]] std::vector<std::uint64_t> take_skipped_keys();
 
    private:
     /// Per-stream assembly: a path's sections are contiguous (possibly
@@ -116,13 +156,20 @@ class WireImporter {
 
     void close_path();
     void emit_samples();
+    void decode_chunk(std::span<const std::byte> payload);
+    void note_skipped(std::uint64_t key);
+    /// Framing-only completeness scan; throws TRANSIENT WireError on
+    /// truncation, touches no session state.
+    static void prescan(std::span<const std::byte> payload);
 
     const WireImporter* importer_;
     core::ReceiptSink* sink_;
     Assembly cur_;
     std::vector<bool> seen_;  ///< paths already imported this round
+    std::vector<std::uint64_t> skipped_keys_;  ///< deduped, resync order
     bool finished_ = false;
-    bool poisoned_ = false;  ///< a feed() threw mid-chunk
+    bool poisoned_ = false;  ///< a fatal feed() threw mid-chunk
+    bool skipping_ = false;  ///< resync() active: discard to next mark
   };
 
  private:

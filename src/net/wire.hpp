@@ -18,9 +18,32 @@
 namespace vpm::net {
 
 /// Raised on truncated or malformed wire input.
+///
+/// Two severities, because the two failure modes demand opposite consumer
+/// reactions (ISSUE 6): a TRANSIENT error means the bytes so far are a
+/// well-formed prefix that simply ends early — a truncated fetch the
+/// consumer should retry with the complete payload, leaving decoder state
+/// untouched.  A FATAL error means the bytes are structurally wrong
+/// (hostile or corrupt); retrying the same stream cannot help and the
+/// decoder must resynchronize at the next self-delimiting boundary.
 class WireError : public std::runtime_error {
  public:
-  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+  enum class Severity : std::uint8_t {
+    kFatal,      ///< malformed content: retry cannot succeed
+    kTransient,  ///< incomplete input: retry with the full payload
+  };
+
+  explicit WireError(const std::string& what,
+                     Severity severity = Severity::kFatal)
+      : std::runtime_error(what), severity_(severity) {}
+
+  [[nodiscard]] Severity severity() const noexcept { return severity_; }
+  [[nodiscard]] bool transient() const noexcept {
+    return severity_ == Severity::kTransient;
+  }
+
+ private:
+  Severity severity_ = Severity::kFatal;
 };
 
 /// Append-only little-endian byte sink.
@@ -75,16 +98,28 @@ class ByteReader {
     return static_cast<std::int64_t>(get_le(8));
   }
 
+  /// Advance past `n` bytes without decoding them (bounds-checked) — for
+  /// structural scans and resync walks over self-framing sections.
+  void skip(std::size_t n) {
+    expect_at_least(n);
+    pos_ += n;
+  }
+
   [[nodiscard]] std::size_t remaining() const noexcept {
     return data_.size() - pos_;
   }
   [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
 
   /// Require exactly `n` more bytes (for validating counted sections).
+  /// Throws TRANSIENT: running out of bytes means the input is (at most) a
+  /// prefix of a valid stream — the retryable failure mode.  Callers that
+  /// can prove the full payload is present (a sealed envelope) wrap it
+  /// into a fatal error at their boundary.
   void expect_at_least(std::size_t n) const {
     if (remaining() < n) {
       throw WireError("truncated input: need " + std::to_string(n) +
-                      " bytes, have " + std::to_string(remaining()));
+                          " bytes, have " + std::to_string(remaining()),
+                      WireError::Severity::kTransient);
     }
   }
 

@@ -159,6 +159,7 @@ ChurnScenarioResult run_churn_scenario(const ChurnScenarioConfig& cfg) {
         .idle_ttl =
             cfg.round_length * static_cast<std::int64_t>(cfg.ttl_rounds),
         .compact_garbage_fraction = cfg.compact_garbage_fraction,
+        .decay_low_occupancy_drains = cfg.decay_low_occupancy_drains,
     };
     scfg.shard_count = cfg.shard_count;
     churn[h].emplace(scfg, multi.paths);

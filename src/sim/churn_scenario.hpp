@@ -63,6 +63,11 @@ struct ChurnScenarioConfig {
   // Lifecycle knobs (the churn run only).
   std::size_t ttl_rounds = 3;  ///< evict after this many idle rounds
   double compact_garbage_fraction = 0.25;
+  /// Live-capacity decay: halve a live path's slice once it has sat below
+  /// a quarter occupancy for this many consecutive lifecycle passes —
+  /// pins the long-run memory plateau flat instead of at the burst peak.
+  /// 0 disables.
+  std::uint32_t decay_low_occupancy_drains = 2;
 
   // Store consumers: "verifier" fetches+acks every round; "archiver"
   // lags, bounding retained envelopes by its cursor.

@@ -1,0 +1,385 @@
+#include "sim/fault_scenario.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "collector/monitoring_cache.hpp"
+#include "core/incremental_verifier.hpp"
+#include "core/receipt_sink.hpp"
+#include "dissem/receipt_store.hpp"
+#include "dissem/wire_exporter.hpp"
+#include "dissem/wire_importer.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace vpm::sim {
+namespace {
+
+constexpr std::size_t kHops = 3;
+constexpr dissem::DomainKey kKey = 0xFA117C0DE;
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::vector<net::PathId> path_table(
+    const collector::MonitoringCache::Config& cfg,
+    const std::vector<net::PrefixPair>& paths) {
+  std::vector<net::PathId> out;
+  out.reserve(paths.size());
+  for (const net::PrefixPair& pair : paths) {
+    out.push_back(net::PathId{
+        .header_spec_id = cfg.protocol.header_spec.id(),
+        .prefixes = pair,
+        .previous_hop = cfg.previous_hop,
+        .next_hop = cfg.next_hop,
+        .max_diff = cfg.max_diff,
+    });
+  }
+  return out;
+}
+
+void add_stats(dissem::FetchClient::Stats& acc,
+               const dissem::FetchClient::Stats& s) {
+  acc.polls += s.polls;
+  acc.backoff_skips += s.backoff_skips;
+  acc.envelopes_fed += s.envelopes_fed;
+  acc.refetch_skips += s.refetch_skips;
+  acc.deliveries += s.deliveries;
+  acc.groups_delivered += s.groups_delivered;
+  acc.gaps_reported += s.gaps_reported;
+  acc.transient_retries += s.transient_retries;
+  acc.fatal_errors += s.fatal_errors;
+  acc.acks += s.acks;
+  acc.ack_rejections += s.ack_rejections;
+  acc.gap_wait_polls += s.gap_wait_polls;
+}
+
+/// Merge crash re-declarations: a client killed after reporting a gap but
+/// before acking past it re-fetches and re-declares the same gap (same
+/// first missing sequence) — keep the widest range and the union of
+/// attributed paths.
+std::vector<core::RoundGap> dedupe_gaps(std::vector<core::RoundGap> raw) {
+  std::map<std::uint64_t, core::RoundGap> by_first;
+  for (core::RoundGap& g : raw) {
+    auto [it, inserted] = by_first.try_emplace(g.first_sequence, g);
+    if (inserted) continue;
+    core::RoundGap& kept = it->second;
+    kept.last_sequence = std::max(kept.last_sequence, g.last_sequence);
+    kept.affected_paths.insert(kept.affected_paths.end(),
+                               g.affected_paths.begin(),
+                               g.affected_paths.end());
+    std::sort(kept.affected_paths.begin(), kept.affected_paths.end());
+    kept.affected_paths.erase(std::unique(kept.affected_paths.begin(),
+                                          kept.affected_paths.end()),
+                              kept.affected_paths.end());
+  }
+  std::vector<core::RoundGap> out;
+  out.reserve(by_first.size());
+  for (auto& [first, g] : by_first) out.push_back(std::move(g));
+  return out;
+}
+
+}  // namespace
+
+FaultScenarioResult run_fault_scenario(const FaultScenarioConfig& cfg) {
+  if (cfg.rounds == 0 || cfg.path_count == 0) {
+    throw std::invalid_argument("fault scenario: empty run");
+  }
+  // One poll per round and the transport ticking once per round means an
+  // envelope delayed d ticks is invisible for d-1 polls; patience must
+  // cover that or the run reports phantom gaps by construction.
+  if (cfg.plan.delay_rate > 0.0 &&
+      cfg.gap_patience_polls < cfg.plan.max_delay_ticks) {
+    throw std::invalid_argument(
+        "fault scenario: gap patience below the plan's max delay");
+  }
+
+  // --- traffic ------------------------------------------------------------
+  trace::MultiPathConfig mcfg;
+  mcfg.path_count = cfg.path_count;
+  mcfg.zipf_s = cfg.zipf_s;
+  mcfg.total_packets_per_second = cfg.total_packets_per_second;
+  mcfg.duration = cfg.round_length * static_cast<std::int64_t>(cfg.rounds);
+  mcfg.seed = cfg.seed;
+  const trace::MultiPathTrace multi = trace::generate_multi_path(mcfg);
+
+  const auto hop_delay = [&](std::size_t path, std::size_t hop) {
+    const auto spread = static_cast<std::int64_t>(
+        mix(cfg.seed ^ (path * 2654435761u)) % (cfg.delay_spread_us + 1));
+    return (cfg.hop_delay + net::microseconds(spread)) *
+           static_cast<std::int64_t>(hop);
+  };
+
+  const std::int64_t round_ns = cfg.round_length.nanoseconds();
+  std::vector<std::vector<net::Packet>> round_packets(cfg.rounds);
+  std::array<std::vector<std::vector<net::Timestamp>>, kHops> round_when;
+  for (auto& w : round_when) w.resize(cfg.rounds);
+  FaultScenarioResult result;
+  for (std::size_t i = 0; i < multi.packets.size(); ++i) {
+    net::Packet p = multi.packets[i];
+    p.origin_time =
+        net::Timestamp{p.origin_time.nanoseconds() / 1000 * 1000};
+    std::size_t r =
+        static_cast<std::size_t>(p.origin_time.nanoseconds() / round_ns);
+    if (r >= cfg.rounds) r = cfg.rounds - 1;
+    const std::size_t path = multi.path_of[i];
+    round_packets[r].push_back(p);
+    for (std::size_t h = 0; h < kHops; ++h) {
+      round_when[h][r].push_back(p.origin_time + hop_delay(path, h));
+    }
+    ++result.total_packets;
+  }
+
+  // --- collectors ---------------------------------------------------------
+  result.layout = core::PathLayout{
+      .hops = {1, 2, 3}, .domain_of = {"alpha", "alpha", "beta"}};
+
+  std::array<collector::MonitoringCache::Config, kHops> hop_cfg;
+  std::array<std::optional<collector::MonitoringCache>, kHops> caches;
+  for (std::size_t h = 0; h < kHops; ++h) {
+    collector::MonitoringCache::Config c;
+    c.protocol.digest_mode = cfg.digest_mode;
+    c.protocol.marker_rate = cfg.marker_rate;
+    c.tuning = cfg.tuning;
+    c.self = result.layout.hops[h];
+    c.previous_hop = h == 0 ? net::kNoHop : result.layout.hops[h - 1];
+    c.next_hop = h + 1 == kHops ? net::kNoHop : result.layout.hops[h + 1];
+    hop_cfg[h] = c;
+    caches[h].emplace(c, multi.paths);
+  }
+
+  // --- the wire: exporters -> faulty transports -> store ------------------
+  // `ref_store` archives the pre-fault copy of every envelope — the
+  // fault-free wire the delivered-round reference is re-fed from.
+  dissem::ReceiptStore store;
+  dissem::ReceiptStore ref_store;
+  for (std::size_t h = 0; h < kHops; ++h) {
+    store.register_producer(result.layout.hops[h], kKey);
+    ref_store.register_producer(result.layout.hops[h], kKey);
+  }
+  store.register_consumer("fleet");
+  ref_store.register_consumer("ref");
+
+  std::array<std::optional<dissem::FaultyTransport>, kHops> transports;
+  for (std::size_t h = 0; h < kHops; ++h) {
+    transports[h].emplace(cfg.plan, cfg.fault_seed + h,
+                          [&store](dissem::Envelope&& e) {
+                            (void)store.ingest(std::move(e));
+                          });
+  }
+
+  bool faults_on = true;  // the closing round ships on a clean wire
+  std::array<std::optional<dissem::WireExporter>, kHops> exporters;
+  for (std::size_t h = 0; h < kHops; ++h) {
+    exporters[h].emplace(
+        dissem::WireExporter::Config{.producer = result.layout.hops[h],
+                                     .key = kKey,
+                                     .max_chunk_bytes = cfg.max_chunk_bytes},
+        [&ref_store, &transports, &store, &faults_on,
+         h](dissem::Envelope&& e) {
+          (void)ref_store.ingest(e);
+          if (faults_on) {
+            transports[h]->send(std::move(e));
+          } else {
+            (void)store.ingest(std::move(e));
+          }
+        });
+  }
+
+  // --- verifiers ----------------------------------------------------------
+  // Retention covers the whole run: the delivered-subset equality below is
+  // exact, not modulo retention expiry (the churn soak covers expiry).
+  const core::IncrementalPathVerifier::Config vcfg{
+      .layout = result.layout,
+      .retain_rounds = cfg.rounds + 8,
+      .margin_boundaries = cfg.margin_boundaries,
+  };
+  std::vector<core::IncrementalPathVerifier> fault_verifiers;
+  std::vector<core::IncrementalPathVerifier> ref_verifiers;
+  fault_verifiers.reserve(cfg.path_count);
+  ref_verifiers.reserve(cfg.path_count);
+  for (std::size_t p = 0; p < cfg.path_count; ++p) {
+    fault_verifiers.emplace_back(vcfg);
+    ref_verifiers.emplace_back(vcfg);
+  }
+
+  // --- the consumer fleet -------------------------------------------------
+  std::array<std::optional<dissem::WireImporter>, kHops> importers;
+  for (std::size_t h = 0; h < kHops; ++h) {
+    importers[h].emplace(path_table(hop_cfg[h], multi.paths));
+  }
+
+  result.gaps.assign(kHops, {});
+  result.client_stats.assign(kHops, {});
+  std::array<std::vector<core::RoundGap>, kHops> raw_gaps;
+  std::array<std::unique_ptr<dissem::FetchClient>, kHops> clients;
+  const auto build_client = [&](std::size_t h) {
+    dissem::FetchClient::Config ccfg;
+    ccfg.consumer = "fleet";
+    ccfg.producer = result.layout.hops[h];
+    ccfg.producer_name = result.layout.domain_of[h];
+    ccfg.hop = result.layout.hops[h];
+    ccfg.gap_patience_polls = cfg.gap_patience_polls;
+    ccfg.seed = cfg.seed ^ (0xC11E57ull + h);
+    clients[h] = std::make_unique<dissem::FetchClient>(
+        *importers[h], store, ccfg,
+        [&fault_verifiers, &result,
+         h](std::vector<core::IndexedPathDrain>&& groups) {
+          for (core::IndexedPathDrain& g : groups) {
+            fault_verifiers[g.path].add_round(result.layout.hops[h],
+                                              std::move(g.drain));
+          }
+        },
+        [&raw_gaps, h](core::RoundGap&& gap) {
+          raw_gaps[h].push_back(std::move(gap));
+        });
+  };
+  const auto retire_client = [&](std::size_t h) {
+    add_stats(result.client_stats[h], clients[h]->stats());
+    clients[h].reset();
+  };
+  for (std::size_t h = 0; h < kHops; ++h) build_client(h);
+
+  // --- the rounds ---------------------------------------------------------
+  result.sealed_by_round.assign(kHops, {});
+  for (std::size_t r = 0; r < cfg.rounds; ++r) {
+    if (cfg.crash_every_rounds != 0 && r != 0 &&
+        r % cfg.crash_every_rounds == 0) {
+      // Kill the fleet between polls — mid-gap, mid-resync, wherever it
+      // happens to stand — and rebuild from the acked cursors alone.
+      for (std::size_t h = 0; h < kHops; ++h) {
+        retire_client(h);
+        build_client(h);
+        ++result.client_rebuilds;
+      }
+    }
+    for (std::size_t h = 0; h < kHops; ++h) {
+      caches[h]->observe_batch(round_packets[r], round_when[h][r]);
+      caches[h]->drain_all(*exporters[h], /*flush_open=*/false);
+      exporters[h]->end_round();
+      exporters[h]->flush();
+      result.sealed_by_round[h].push_back(exporters[h]->next_sequence() - 1);
+      transports[h]->tick();
+    }
+    for (std::size_t h = 0; h < kHops; ++h) clients[h]->poll();
+  }
+
+  // --- the clean closing round --------------------------------------------
+  // Tail losses are invisible until something arrives behind them: flush
+  // the transports, then ship the final flush_open drain on a perfect
+  // wire so every induced gap has a clean round to resync against.
+  for (std::size_t h = 0; h < kHops; ++h) transports[h]->flush();
+  faults_on = false;
+  for (std::size_t h = 0; h < kHops; ++h) {
+    caches[h]->drain_all(*exporters[h], /*flush_open=*/true);
+    exporters[h]->finish();
+    result.sealed_by_round[h].push_back(exporters[h]->next_sequence() - 1);
+  }
+  // Settle: enough polls for every patience window and backoff to drain.
+  const std::size_t settle = cfg.gap_patience_polls + 16;
+  for (std::size_t i = 0; i < settle; ++i) {
+    for (std::size_t h = 0; h < kHops; ++h) clients[h]->poll();
+  }
+  for (std::size_t h = 0; h < kHops; ++h) {
+    clients[h]->finalize();
+    retire_client(h);
+  }
+
+  // --- gap bookkeeping -----------------------------------------------------
+  std::unordered_map<std::uint64_t, std::size_t> index_of_key;
+  for (std::size_t p = 0; p < cfg.path_count; ++p) {
+    index_of_key[importers[0]->path_at(p).path_key()] = p;
+  }
+  result.round_delivered.assign(kHops, {});
+  result.transport.clear();
+  result.lost_sequences.assign(kHops, {});
+  for (std::size_t h = 0; h < kHops; ++h) {
+    result.transport.push_back(transports[h]->stats());
+    result.lost_sequences[h] =
+        transports[h]->lost_sequences(result.layout.hops[h]);
+    result.gaps[h] = dedupe_gaps(std::move(raw_gaps[h]));
+    // Feed the deduplicated gaps to the affected paths' verifiers (the
+    // raw stream may re-declare across crashes).
+    for (const core::RoundGap& g : result.gaps[h]) {
+      for (std::uint64_t key : g.affected_paths) {
+        const auto it = index_of_key.find(key);
+        if (it != index_of_key.end()) {
+          fault_verifiers[it->second].report_gap(g);
+        }
+      }
+    }
+    // Round r delivered <=> no gap range intersects its sealed sequence
+    // range (sealed_by_round is cumulative; an empty range is trivially
+    // delivered).
+    const std::vector<std::uint64_t>& sealed = result.sealed_by_round[h];
+    result.round_delivered[h].assign(sealed.size(), 1);
+    for (std::size_t r = 0; r < sealed.size(); ++r) {
+      const std::uint64_t lo = r == 0 ? 1 : sealed[r - 1] + 1;
+      const std::uint64_t hi = sealed[r];
+      for (const core::RoundGap& g : result.gaps[h]) {
+        if (g.first_sequence <= hi && g.last_sequence >= lo) {
+          result.round_delivered[h][r] = 0;
+          break;
+        }
+      }
+    }
+  }
+
+  // --- the delivered-round reference --------------------------------------
+  // Replay the fault-free archive, feeding ONLY the rounds the faulty run
+  // delivered: identical inputs per hop, so the analyses must agree.
+  for (std::size_t h = 0; h < kHops; ++h) {
+    const net::HopId hop = result.layout.hops[h];
+    core::DrainRoundSink sink(
+        [&ref_verifiers, hop](std::size_t index, const net::PathId&,
+                              core::PathDrain&& drain) {
+          ref_verifiers[index].add_round(hop, std::move(drain));
+        });
+    dissem::WireImporter::Session session(*importers[h], sink);
+    const std::vector<std::uint64_t>& sealed = result.sealed_by_round[h];
+    ref_store.fetch_from(
+        "ref", hop, [&](std::uint64_t seq, std::span<const std::byte> p) {
+          const auto it =
+              std::lower_bound(sealed.begin(), sealed.end(), seq);
+          const auto r = static_cast<std::size_t>(it - sealed.begin());
+          if (r < sealed.size() && result.round_delivered[h][r] != 0) {
+            session.feed(p);
+          }
+        });
+    session.finish();
+  }
+
+  // --- analyses and end state ---------------------------------------------
+  result.fault_analysis.reserve(cfg.path_count);
+  result.ref_analysis.reserve(cfg.path_count);
+  for (std::size_t p = 0; p < cfg.path_count; ++p) {
+    result.fault_analysis.push_back(fault_verifiers[p].analyze());
+    result.ref_analysis.push_back(ref_verifiers[p].analyze());
+    result.fault_expired_unmatched +=
+        fault_verifiers[p].resident_stats().expired_unmatched;
+    result.ref_expired_unmatched +=
+        ref_verifiers[p].resident_stats().expired_unmatched;
+  }
+  result.consumer_lag_end.clear();
+  for (std::size_t h = 0; h < kHops; ++h) {
+    result.consumer_lag_end.push_back(
+        store.consumer_lag("fleet", result.layout.hops[h]));
+  }
+  result.store_envelopes_end = store.stored_envelopes();
+  result.gc_erased = store.gc_erased_count();
+  result.store_rejected = store.rejected_count();
+  return result;
+}
+
+}  // namespace vpm::sim

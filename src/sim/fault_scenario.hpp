@@ -1,0 +1,129 @@
+// Crash-restart fleet soak over a faulty dissemination wire (ISSUE 6).
+//
+// The churn scenario (sim/churn_scenario) exercises the epoch lifecycle on
+// a PERFECT wire: every sealed envelope reaches the store, in order,
+// exactly once.  This scenario drives the same three-hop pipeline
+//
+//   collector -> WireExporter -> FaultyTransport -> ReceiptStore
+//             -> FetchClient fleet -> IncrementalPathVerifier
+//
+// through a declarative FaultPlan: envelopes drop, duplicate, reorder,
+// arrive late, or arrive bit-damaged — and, on top, the consumer fleet is
+// periodically KILLED between polls and rebuilt from its acked cursors.
+//
+// What makes the result checkable is determinism on both sides:
+//
+//   * the transport keeps per-producer ground truth of the sequences it
+//     destroyed (dropped or corrupted), so the soak can assert that
+//     reported RoundGaps cover exactly the induced losses;
+//   * a reporting round either survives in full (no gap range touches its
+//     sealed sequence range) or is gapped; the scenario re-feeds a
+//     REFERENCE verifier from the fault-free store with exactly the
+//     delivered-round subset, so delivered rounds must yield findings
+//     IDENTICAL to a fault-free run over the same rounds;
+//   * the run ends with one clean (fault-free) closing round — tail losses
+//     are invisible to a cursor consumer until something arrives behind
+//     them, so the closing round is what lets every gap surface.
+//
+// Consumer patience is set strictly above the transport's worst-case
+// delay (in polls), so reordering and delay alone NEVER degrade to a
+// reported gap: gaps == destroyed sequences, exactly.
+#ifndef VPM_SIM_FAULT_SCENARIO_HPP
+#define VPM_SIM_FAULT_SCENARIO_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/verifier.hpp"
+#include "dissem/faulty_transport.hpp"
+#include "dissem/fetch_client.hpp"
+#include "net/digest.hpp"
+#include "net/time.hpp"
+
+namespace vpm::sim {
+
+struct FaultScenarioConfig {
+  // Traffic (lighter than the churn soak: the interesting work is on the
+  // wire, not in the collector).
+  std::size_t path_count = 6;
+  double zipf_s = 1.1;
+  double total_packets_per_second = 15'000.0;
+  std::size_t rounds = 30;  ///< faulty rounds; a clean closing round follows
+  net::Duration round_length = net::milliseconds(50);
+  std::uint64_t seed = 1;
+
+  // Collector shape.
+  net::DigestMode digest_mode = net::DigestMode::kIndependent;
+  double marker_rate = 1.0 / 64.0;
+  core::HopTuning tuning{.sample_rate = 0.05, .cut_rate = 2e-3};
+
+  // The wire.
+  dissem::FaultPlan plan;        ///< all-zero == perfect (control runs)
+  std::uint64_t fault_seed = 1;  ///< transport schedule seed
+  /// Small chunks -> several envelopes per round -> more fault surface.
+  std::size_t max_chunk_bytes = 2 * 1024;
+
+  // The fleet.
+  /// Destroy every FetchClient and rebuild it from its acked cursor at
+  /// the start of every Nth round (0 = never crash).  Rebuilding mid-gap
+  /// and mid-resync is the point.
+  std::size_t crash_every_rounds = 0;
+  /// Must stay strictly above plan.max_delay_ticks (one poll per round)
+  /// or delays degrade into spurious gaps.
+  std::uint64_t gap_patience_polls = 3;
+
+  // Verifier retention: sized so nothing expires within the run — the
+  // delivered-subset equality below is exact, not modulo expiry.
+  std::size_t margin_boundaries = 2;
+
+  // Per-hop observation delay (µs-aligned), as in the churn scenario.
+  net::Duration hop_delay = net::microseconds(400);
+  std::size_t delay_spread_us = 32;
+};
+
+struct FaultScenarioResult {
+  core::PathLayout layout;
+  std::uint64_t total_packets = 0;
+
+  // Per hop: transport ground truth and consumer outcome.
+  std::vector<dissem::FaultStats> transport;
+  std::vector<std::vector<std::uint64_t>> lost_sequences;  ///< ascending
+  /// Reported gaps, deduplicated across crash re-declarations (same
+  /// first_sequence -> widest range, union of affected paths).
+  std::vector<std::vector<core::RoundGap>> gaps;
+  /// Last sealed envelope sequence per round (index rounds == the clean
+  /// closing round).
+  std::vector<std::vector<std::uint64_t>> sealed_by_round;
+  /// round_delivered[h][r]: no gap range intersects round r's sealed
+  /// sequence range.
+  std::vector<std::vector<char>> round_delivered;
+  /// FetchClient stats summed across crash incarnations.
+  std::vector<dissem::FetchClient::Stats> client_stats;
+  std::size_t client_rebuilds = 0;
+
+  // Per path: the faulty run's analysis (gaps attributed per path) vs the
+  // reference verifier fed the identical delivered-round subset from the
+  // fault-free store.  Domains/links must match exactly; only the gaps
+  // vector differs (reference has none).
+  std::vector<core::PathAnalysis> fault_analysis;
+  std::vector<core::PathAnalysis> ref_analysis;
+  std::uint64_t fault_expired_unmatched = 0;
+  std::uint64_t ref_expired_unmatched = 0;
+
+  // Store end state: nothing stuck.
+  std::vector<std::size_t> consumer_lag_end;  ///< per hop, must be 0
+  std::size_t store_envelopes_end = 0;
+  std::size_t gc_erased = 0;
+  /// Rejected ingests: corrupted MACs plus duplicate/stale copies.
+  std::size_t store_rejected = 0;
+};
+
+/// Run the scenario.  Deterministic per (cfg.seed, cfg.fault_seed).
+/// Throws std::invalid_argument on a config whose patience cannot cover
+/// the plan's delays (the run would report phantom gaps by construction).
+FaultScenarioResult run_fault_scenario(const FaultScenarioConfig& cfg);
+
+}  // namespace vpm::sim
+
+#endif  // VPM_SIM_FAULT_SCENARIO_HPP

@@ -82,17 +82,26 @@ TEST(ReceiptStore, AcceptsOnlyRegisteredAndAuthentic) {
   EXPECT_EQ(store.rejected_count(), 2u);
 }
 
-TEST(ReceiptStore, RejectsReplayAndRollback) {
+TEST(ReceiptStore, DedupesReplayAndFilesReorderedArrivals) {
   ReceiptStore store;
   store.register_producer(5, 1);
   EXPECT_EQ(store.ingest(seal(5, 10, bytes_of("x"), 1)),
             IngestResult::kAccepted);
-  EXPECT_EQ(store.ingest(seal(5, 10, bytes_of("x"), 1)),
-            IngestResult::kStaleSequence);
+  // Replay of a retained envelope dedupes (idempotent no-op)...
+  const IngestOutcome dup = store.ingest(seal(5, 10, bytes_of("x"), 1));
+  EXPECT_EQ(dup, IngestResult::kDuplicate);
+  EXPECT_EQ(dup.got_sequence, 10u);
+  // ...while a lower NEVER-SEEN sequence is a reordered arrival, not a
+  // rollback: it files into place (ISSUE 6 — reordering must not become
+  // loss).  Rollback rejection is the GC-floor test, pinned by
+  // StoreCursor.StaleSequenceRejectionSurvivesGc.
   EXPECT_EQ(store.ingest(seal(5, 9, bytes_of("y"), 1)),
-            IngestResult::kStaleSequence);
+            IngestResult::kAccepted);
   EXPECT_EQ(store.ingest(seal(5, 11, bytes_of("z"), 1)),
             IngestResult::kAccepted);
+  const auto payloads = store.payloads_from(5);
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], bytes_of("y")) << "sequence order, not arrival";
 }
 
 TEST(ReceiptStore, PayloadsReturnedInSequenceOrder) {

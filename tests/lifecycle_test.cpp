@@ -266,6 +266,100 @@ TEST(Lifecycle, EmptyEvictionDrainsShipNothing) {
   EXPECT_EQ(cache.arena_live_bytes(), 0u);
 }
 
+// Live-capacity decay: a burst grows slices past the initial caps; quiet
+// lifecycle passes then halve them back toward the floor, the released
+// halves become compactable garbage, and receipts never change.
+TEST(Lifecycle, DecayHalvesLowOccupancySlicesReceiptInvisibly) {
+  const Workload w = make_workload(8);
+  auto cfg = cache_config();
+  cfg.lifecycle.decay_low_occupancy_drains = 2;
+  collector::MonitoringCache cache(cfg, w.multi.paths);
+  collector::MonitoringCache plain(cache_config(), w.multi.paths);
+  cache.observe_batch(w.multi.packets);
+  plain.observe_batch(w.multi.packets);
+
+  const std::size_t live_before = cache.arena_live_bytes();
+  ASSERT_GT(live_before, 0u);
+
+  // Pass 1 only arms the streak counters (threshold 2): nothing halves.
+  const auto first = cache.run_decay_pass();
+  EXPECT_EQ(first.halved_slices, 0u);
+  EXPECT_EQ(first.released_bytes, 0u);
+
+  // Pass 2 halves every slice that stayed under a quarter occupancy.
+  const auto second = cache.run_decay_pass();
+  ASSERT_GT(second.halved_slices, 0u)
+      << "burst-grown slices sit nearly empty and must decay";
+  EXPECT_EQ(cache.arena_live_bytes(), live_before - second.released_bytes);
+  EXPECT_EQ(cache.state().arena_bytes(),
+            cache.arena_live_bytes() + cache.arena_garbage_bytes());
+  EXPECT_EQ(cache.lifecycle_totals().decayed_slices, second.halved_slices);
+  EXPECT_EQ(cache.lifecycle_totals().decayed_arena_bytes,
+            second.released_bytes);
+
+  // Sustained quiet decays to the initial-cap floor and stops there.
+  for (int i = 0; i < 40; ++i) (void)cache.run_decay_pass();
+  const auto settled = cache.run_decay_pass();
+  EXPECT_EQ(settled.halved_slices, 0u)
+      << "decay must reach a fixed point, not oscillate";
+  const std::size_t floor_live = cache.arena_live_bytes();
+  EXPECT_LT(floor_live, live_before);
+  for (const core::PathSlot& s : cache.state().slots) {
+    if (s.warm.buf_cap != 0) {
+      EXPECT_GE(s.warm.buf_cap, 16u);
+    }
+    if (s.warm.ring_cap != 0) {
+      EXPECT_GE(s.warm.ring_cap, 8u);
+      EXPECT_EQ(s.warm.ring_cap & (s.warm.ring_cap - 1), 0u)
+          << "ring capacity must stay a power of two";
+    }
+    EXPECT_LE(s.hot.buf_size, s.warm.buf_cap);
+    EXPECT_LE(s.hot.ring_size, s.warm.ring_cap);
+  }
+
+  // The released halves are garbage; compaction reclaims them for real.
+  const std::size_t garbage = cache.arena_garbage_bytes();
+  ASSERT_GT(garbage, 0u);
+  EXPECT_EQ(cache.compact_arenas(), garbage);
+  EXPECT_EQ(cache.state().arena_bytes(), floor_live);
+
+  // Receipt-invisible: the decayed cache keeps monitoring and drains a
+  // stream byte-identical to the never-decayed cache's.
+  cache.observe_batch(w.phase(net::milliseconds(250), w.multi.paths.size()));
+  plain.observe_batch(w.phase(net::milliseconds(250), w.multi.paths.size()));
+  EXPECT_EQ(cache.drain_all(/*flush_open=*/true),
+            plain.drain_all(/*flush_open=*/true));
+}
+
+// The sharded collector's decay pass must make the identical per-path
+// decisions the single cache makes (decay state is per path, not per
+// shard).
+TEST(ShardedLifecycle, DecayMatchesSingleCache) {
+  const Workload w = make_workload(9);
+  auto cfg = cache_config();
+  cfg.lifecycle.decay_low_occupancy_drains = 2;
+
+  collector::MonitoringCache single(cfg, w.multi.paths);
+  collector::ShardedCollector::Config scfg;
+  scfg.cache = cfg;
+  scfg.shard_count = 4;
+  collector::ShardedCollector sharded(scfg, w.multi.paths);
+
+  single.observe_batch(w.multi.packets);
+  sharded.observe_batch(w.multi.packets);
+
+  const net::Timestamp now{net::milliseconds(250).nanoseconds()};
+  core::NullSink null;
+  for (int pass = 0; pass < 3; ++pass) {
+    const collector::LifecycleReport s1 = single.run_lifecycle(now, null);
+    const collector::LifecycleReport s2 = sharded.run_lifecycle(now, null);
+    EXPECT_EQ(s2.decayed_slices, s1.decayed_slices) << "pass " << pass;
+    EXPECT_EQ(s2.decayed_arena_bytes, s1.decayed_arena_bytes)
+        << "pass " << pass;
+  }
+  EXPECT_EQ(sharded.arena_live_bytes(), single.arena_live_bytes());
+}
+
 TEST(ShardedLifecycle, MatchesSingleCacheLifecycle) {
   const Workload w = make_workload(6);
   auto cfg = cache_config();

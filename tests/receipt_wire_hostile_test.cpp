@@ -452,6 +452,145 @@ TEST_F(ChunkHostile, SeamTimeInversionAcrossSplitBatchesThrows) {
   }
 }
 
+// --- duplicated / reordered envelope sequences ---------------------------
+//
+// The transport between producer and store is attacker-adjacent too: a
+// middlebox (or the FaultyTransport soak) can replay and reorder whole
+// sealed envelopes.  The store's sequence discipline must dedupe retained
+// replays, file reordered arrivals into place, and reject post-collection
+// replays — and the decoded stream must come out IDENTICAL to an in-order
+// ingest, never with a round applied twice.
+class EnvelopeSequenceHostile : public ::testing::Test {
+ protected:
+  /// A two-round, two-path exporter stream chunked small enough to span
+  /// several envelopes.
+  std::vector<dissem::Envelope> make_stream() {
+    std::vector<dissem::Envelope> envelopes;
+    dissem::WireExporter exporter(
+        dissem::WireExporter::Config{
+            .producer = 1, .key = 2, .max_chunk_bytes = 160},
+        [&envelopes](dissem::Envelope&& e) {
+          envelopes.push_back(std::move(e));
+        });
+    net::PathId path_b = test_path();
+    path_b.prefixes.source = net::Prefix(net::Ipv4Address(0x0B000000), 16);
+    for (int round = 0; round < 2; ++round) {
+      core::PathDrain a;
+      a.samples = valid_samples();
+      a.aggregates = valid_aggregates();
+      core::PathDrain b = a;
+      b.samples.path = path_b;
+      for (auto& agg : b.aggregates) agg.path = path_b;
+      core::emit_drain(exporter, 0, a);
+      core::emit_drain(exporter, 1, b);
+      exporter.end_round();
+      exporter.flush();
+    }
+    exporter.finish();
+    return envelopes;
+  }
+
+  dissem::WireImporter importer_for_stream() {
+    net::PathId path_b = test_path();
+    path_b.prefixes.source = net::Prefix(net::Ipv4Address(0x0B000000), 16);
+    return dissem::WireImporter({test_path(), path_b});
+  }
+
+  std::vector<core::IndexedPathDrain> import_stream(
+      const dissem::ReceiptStore& store) {
+    const dissem::WireImporter importer = importer_for_stream();
+    core::VectorSink sink;
+    importer.import_into(store, 1, sink);
+    return std::move(sink).take();
+  }
+
+  /// The stream as an in-order ingest decodes it — the double-apply
+  /// oracle.
+  std::vector<core::IndexedPathDrain> reference_stream(
+      const std::vector<dissem::Envelope>& envelopes) {
+    dissem::ReceiptStore store;
+    store.register_producer(1, 2);
+    for (const dissem::Envelope& e : envelopes) {
+      EXPECT_EQ(store.ingest(e), dissem::IngestResult::kAccepted);
+    }
+    return import_stream(store);
+  }
+};
+
+TEST_F(EnvelopeSequenceHostile, DuplicatedEnvelopesNeverDoubleApplyARound) {
+  const auto envelopes = make_stream();
+  ASSERT_GT(envelopes.size(), 3u) << "stream must span several envelopes";
+  const auto reference = reference_stream(envelopes);
+
+  dissem::ReceiptStore store;
+  store.register_producer(1, 2);
+  // Replay each envelope immediately after its original...
+  for (const dissem::Envelope& e : envelopes) {
+    EXPECT_EQ(store.ingest(e), dissem::IngestResult::kAccepted);
+    EXPECT_EQ(store.ingest(e), dissem::IngestResult::kDuplicate);
+  }
+  // ...and the whole stream once more at the end.
+  for (const dissem::Envelope& e : envelopes) {
+    EXPECT_EQ(store.ingest(e), dissem::IngestResult::kDuplicate);
+  }
+  EXPECT_EQ(store.stored_envelopes(), envelopes.size());
+  EXPECT_EQ(store.accepted_count(), envelopes.size());
+  EXPECT_EQ(store.rejected_count(), 2 * envelopes.size());
+  EXPECT_EQ(import_stream(store), reference)
+      << "a replayed envelope must not contribute a second copy of its round";
+}
+
+TEST_F(EnvelopeSequenceHostile, ReorderedEnvelopesReassembleTheIdenticalStream) {
+  const auto envelopes = make_stream();
+  ASSERT_GT(envelopes.size(), 3u);
+  const auto reference = reference_stream(envelopes);
+
+  // Fully reversed arrival — the worst reordering a transport can do.
+  dissem::ReceiptStore reversed;
+  reversed.register_producer(1, 2);
+  for (auto it = envelopes.rbegin(); it != envelopes.rend(); ++it) {
+    EXPECT_EQ(reversed.ingest(*it), dissem::IngestResult::kAccepted);
+  }
+  EXPECT_EQ(import_stream(reversed), reference);
+
+  // An interleaved swap pattern (1,0,3,2,...) with a duplicate riding
+  // along mid-stream.
+  dissem::ReceiptStore swapped;
+  swapped.register_producer(1, 2);
+  for (std::size_t i = 0; i + 1 < envelopes.size(); i += 2) {
+    EXPECT_EQ(swapped.ingest(envelopes[i + 1]),
+              dissem::IngestResult::kAccepted);
+    EXPECT_EQ(swapped.ingest(envelopes[i]), dissem::IngestResult::kAccepted);
+    EXPECT_EQ(swapped.ingest(envelopes[i + 1]),
+              dissem::IngestResult::kDuplicate);
+  }
+  if (envelopes.size() % 2 != 0) {
+    EXPECT_EQ(swapped.ingest(envelopes.back()),
+              dissem::IngestResult::kAccepted);
+  }
+  EXPECT_EQ(import_stream(swapped), reference);
+}
+
+TEST_F(EnvelopeSequenceHostile, ReplayAfterCollectionIsRejectedAsStale) {
+  const auto envelopes = make_stream();
+  dissem::ReceiptStore store;
+  store.register_producer(1, 2);
+  for (const dissem::Envelope& e : envelopes) {
+    ASSERT_EQ(store.ingest(e), dissem::IngestResult::kAccepted);
+  }
+  store.register_consumer("v");
+  ASSERT_EQ(store.ack("v", 1, envelopes.back().sequence),
+            dissem::AckResult::kAcked);
+  ASSERT_EQ(store.stored_envelopes(), 0u);
+
+  // The envelopes are collected, but their sequences are not forgotten:
+  // an authentic replay cannot rewind the stream.
+  for (const dissem::Envelope& e : envelopes) {
+    EXPECT_EQ(store.ingest(e), dissem::IngestResult::kStaleSequence);
+  }
+  EXPECT_TRUE(import_stream(store).empty());
+}
+
 TEST_F(ChunkHostile, StoreRejectsTamperedChunkBeforeItReachesTheDecoder) {
   auto payload = valid_chunk_payload();
   dissem::Envelope env = dissem::seal(1, 1, payload, 2);

@@ -174,6 +174,48 @@ TEST(StoreCursor, ExporterRejectsSequenceZeroStart) {
                std::invalid_argument);
 }
 
+TEST(StoreCursor, AckInsideFetchWalkIsSafe) {
+  // A cursor consumer's natural loop acks mid-walk (FetchClient acks at
+  // every round boundary while fetch_from is still iterating).  The ack's
+  // GC erases the map node just visited; the walk must re-find its
+  // successor by key, not step through the freed node.  Regression test
+  // for a release-build use-after-free the fault soak exposed.
+  ReceiptStore store = store_with(5);
+  store.register_consumer("v");
+  std::vector<std::uint64_t> visited;
+  store.fetch_from("v", kProducer,
+                   [&](std::uint64_t seq, std::span<const std::byte> p) {
+                     EXPECT_FALSE(p.empty());
+                     visited.push_back(seq);
+                     EXPECT_EQ(store.ack("v", kProducer, seq),
+                               AckResult::kAcked);
+                   });
+  EXPECT_EQ(visited, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(store.stored_envelopes(), 0u)
+      << "every visited envelope was acked and collected during the walk";
+  EXPECT_EQ(store.cursor("v", kProducer), 5u);
+
+  // Ingest from inside the walk (a different producer's feedback loop
+  // writing into the same store) must not derail the walk either.
+  ReceiptStore busy = store_with(3);
+  busy.register_consumer("v");
+  std::vector<std::uint64_t> seen;
+  busy.fetch_from("v", kProducer,
+                  [&](std::uint64_t seq, std::span<const std::byte>) {
+                    seen.push_back(seq);
+                    if (seq == 1) {
+                      EXPECT_EQ(busy.ingest(seal(kProducer + 1, 1, payload(4),
+                                                 kKey)),
+                                IngestResult::kUnknownProducer);
+                      busy.register_producer(kProducer + 1, kKey);
+                      EXPECT_EQ(busy.ingest(seal(kProducer + 1, 1, payload(4),
+                                                 kKey)),
+                                IngestResult::kAccepted);
+                    }
+                  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
 TEST(StoreCursor, UnregisteredConsumerFetchThrows) {
   const ReceiptStore store;
   EXPECT_THROW(
