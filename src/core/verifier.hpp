@@ -84,6 +84,8 @@ struct PathLayout {
   std::vector<net::HopId> hops;
   /// domain_of[i] names the domain owning hops[i].
   std::vector<std::string> domain_of;
+
+  friend bool operator==(const PathLayout&, const PathLayout&) = default;
 };
 
 struct DomainFinding {

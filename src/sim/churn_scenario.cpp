@@ -11,55 +11,17 @@
 #include "dissem/receipt_store.hpp"
 #include "dissem/wire_exporter.hpp"
 #include "dissem/wire_importer.hpp"
+#include "sim/scenario_common.hpp"
 #include "trace/synthetic_trace.hpp"
 
 namespace vpm::sim {
 namespace {
 
+using scenario::append_drain;
+using scenario::path_table;
+
 constexpr std::size_t kHops = 3;
 constexpr dissem::DomainKey kKey = 0xFEEDC0DE;
-
-/// splitmix64 finalizer — deterministic per-path delay offsets.
-std::uint64_t mix(std::uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ull;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBull;
-  x ^= x >> 31;
-  return x;
-}
-
-/// Concatenate periodic rounds into the one-shot stream (the collector's
-/// drain-order invariant — what the equality assertions compare).
-void append_drain(core::PathDrain& acc, char& have, const core::PathDrain& d) {
-  if (!have) {
-    acc = d;
-    have = 1;
-    return;
-  }
-  acc.samples.samples.insert(acc.samples.samples.end(),
-                             d.samples.samples.begin(),
-                             d.samples.samples.end());
-  acc.aggregates.insert(acc.aggregates.end(), d.aggregates.begin(),
-                        d.aggregates.end());
-}
-
-std::vector<net::PathId> path_table(
-    const collector::MonitoringCache::Config& cfg,
-    const std::vector<net::PrefixPair>& paths) {
-  std::vector<net::PathId> out;
-  out.reserve(paths.size());
-  for (const net::PrefixPair& pair : paths) {
-    out.push_back(net::PathId{
-        .header_spec_id = cfg.protocol.header_spec.id(),
-        .prefixes = pair,
-        .previous_hop = cfg.previous_hop,
-        .next_hop = cfg.next_hop,
-        .max_diff = cfg.max_diff,
-    });
-  }
-  return out;
-}
 
 }  // namespace
 
@@ -91,22 +53,17 @@ ChurnScenarioResult run_churn_scenario(const ChurnScenarioConfig& cfg) {
   };
 
   // --- traffic ------------------------------------------------------------
-  trace::MultiPathConfig mcfg;
-  mcfg.path_count = cfg.path_count;
-  mcfg.zipf_s = cfg.zipf_s;
-  mcfg.total_packets_per_second = cfg.total_packets_per_second;
-  mcfg.duration = cfg.round_length * static_cast<std::int64_t>(cfg.rounds);
-  mcfg.seed = cfg.seed;
-  const trace::MultiPathTrace multi = trace::generate_multi_path(mcfg);
+  const trace::MultiPathTrace multi = trace::generate_multi_path(
+      scenario::multi_path_config(cfg.path_count, cfg.zipf_s,
+                                  cfg.total_packets_per_second,
+                                  cfg.round_length, cfg.rounds, cfg.seed));
 
   // Per-path, per-hop observation delay (µs-aligned, constant per path so
   // per-path observation order is preserved and the 1 µs wire time
   // quantisation is exact).
   const auto hop_delay = [&](std::size_t path, std::size_t hop) {
-    const auto spread = static_cast<std::int64_t>(
-        mix(cfg.seed ^ (path * 2654435761u)) % (cfg.delay_spread_us + 1));
-    return (cfg.hop_delay + net::microseconds(spread)) *
-           static_cast<std::int64_t>(hop);
+    return scenario::spread_hop_delay(cfg.seed, path, hop, cfg.hop_delay,
+                                      cfg.delay_spread_us);
   };
 
   const std::int64_t round_ns = cfg.round_length.nanoseconds();
@@ -116,11 +73,9 @@ ChurnScenarioResult run_churn_scenario(const ChurnScenarioConfig& cfg) {
   std::uint64_t total_packets = 0;
   for (std::size_t i = 0; i < multi.packets.size(); ++i) {
     net::Packet p = multi.packets[i];
-    p.origin_time =
-        net::Timestamp{p.origin_time.nanoseconds() / 1000 * 1000};
-    std::size_t r =
-        static_cast<std::size_t>(p.origin_time.nanoseconds() / round_ns);
-    if (r >= cfg.rounds) r = cfg.rounds - 1;
+    p.origin_time = scenario::quantize_us(p.origin_time);
+    const std::size_t r =
+        scenario::round_of(p.origin_time, round_ns, cfg.rounds);
     const std::size_t path = multi.path_of[i];
     if (!live_at(path, r)) continue;
     round_packets[r].push_back(p);
@@ -134,8 +89,7 @@ ChurnScenarioResult run_churn_scenario(const ChurnScenarioConfig& cfg) {
   ChurnScenarioResult result;
   result.total_packets = total_packets;
   result.stable_paths = cfg.stable_paths;
-  result.layout = core::PathLayout{
-      .hops = {1, 2, 3}, .domain_of = {"alpha", "alpha", "beta"}};
+  result.layout = scenario::three_hop_layout();
 
   std::array<collector::MonitoringCache::Config, kHops> hop_cfg;
   for (std::size_t h = 0; h < kHops; ++h) {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <array>
-#include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -15,80 +14,18 @@
 #include "dissem/receipt_store.hpp"
 #include "dissem/wire_exporter.hpp"
 #include "dissem/wire_importer.hpp"
+#include "sim/scenario_common.hpp"
 #include "trace/synthetic_trace.hpp"
 
 namespace vpm::sim {
 namespace {
 
+using scenario::add_stats;
+using scenario::dedupe_gaps;
+using scenario::path_table;
+
 constexpr std::size_t kHops = 3;
 constexpr dissem::DomainKey kKey = 0xFA117C0DE;
-
-std::uint64_t mix(std::uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ull;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBull;
-  x ^= x >> 31;
-  return x;
-}
-
-std::vector<net::PathId> path_table(
-    const collector::MonitoringCache::Config& cfg,
-    const std::vector<net::PrefixPair>& paths) {
-  std::vector<net::PathId> out;
-  out.reserve(paths.size());
-  for (const net::PrefixPair& pair : paths) {
-    out.push_back(net::PathId{
-        .header_spec_id = cfg.protocol.header_spec.id(),
-        .prefixes = pair,
-        .previous_hop = cfg.previous_hop,
-        .next_hop = cfg.next_hop,
-        .max_diff = cfg.max_diff,
-    });
-  }
-  return out;
-}
-
-void add_stats(dissem::FetchClient::Stats& acc,
-               const dissem::FetchClient::Stats& s) {
-  acc.polls += s.polls;
-  acc.backoff_skips += s.backoff_skips;
-  acc.envelopes_fed += s.envelopes_fed;
-  acc.refetch_skips += s.refetch_skips;
-  acc.deliveries += s.deliveries;
-  acc.groups_delivered += s.groups_delivered;
-  acc.gaps_reported += s.gaps_reported;
-  acc.transient_retries += s.transient_retries;
-  acc.fatal_errors += s.fatal_errors;
-  acc.acks += s.acks;
-  acc.ack_rejections += s.ack_rejections;
-  acc.gap_wait_polls += s.gap_wait_polls;
-}
-
-/// Merge crash re-declarations: a client killed after reporting a gap but
-/// before acking past it re-fetches and re-declares the same gap (same
-/// first missing sequence) — keep the widest range and the union of
-/// attributed paths.
-std::vector<core::RoundGap> dedupe_gaps(std::vector<core::RoundGap> raw) {
-  std::map<std::uint64_t, core::RoundGap> by_first;
-  for (core::RoundGap& g : raw) {
-    auto [it, inserted] = by_first.try_emplace(g.first_sequence, g);
-    if (inserted) continue;
-    core::RoundGap& kept = it->second;
-    kept.last_sequence = std::max(kept.last_sequence, g.last_sequence);
-    kept.affected_paths.insert(kept.affected_paths.end(),
-                               g.affected_paths.begin(),
-                               g.affected_paths.end());
-    std::sort(kept.affected_paths.begin(), kept.affected_paths.end());
-    kept.affected_paths.erase(std::unique(kept.affected_paths.begin(),
-                                          kept.affected_paths.end()),
-                              kept.affected_paths.end());
-  }
-  std::vector<core::RoundGap> out;
-  out.reserve(by_first.size());
-  for (auto& [first, g] : by_first) out.push_back(std::move(g));
-  return out;
-}
 
 }  // namespace
 
@@ -106,19 +43,14 @@ FaultScenarioResult run_fault_scenario(const FaultScenarioConfig& cfg) {
   }
 
   // --- traffic ------------------------------------------------------------
-  trace::MultiPathConfig mcfg;
-  mcfg.path_count = cfg.path_count;
-  mcfg.zipf_s = cfg.zipf_s;
-  mcfg.total_packets_per_second = cfg.total_packets_per_second;
-  mcfg.duration = cfg.round_length * static_cast<std::int64_t>(cfg.rounds);
-  mcfg.seed = cfg.seed;
-  const trace::MultiPathTrace multi = trace::generate_multi_path(mcfg);
+  const trace::MultiPathTrace multi = trace::generate_multi_path(
+      scenario::multi_path_config(cfg.path_count, cfg.zipf_s,
+                                  cfg.total_packets_per_second,
+                                  cfg.round_length, cfg.rounds, cfg.seed));
 
   const auto hop_delay = [&](std::size_t path, std::size_t hop) {
-    const auto spread = static_cast<std::int64_t>(
-        mix(cfg.seed ^ (path * 2654435761u)) % (cfg.delay_spread_us + 1));
-    return (cfg.hop_delay + net::microseconds(spread)) *
-           static_cast<std::int64_t>(hop);
+    return scenario::spread_hop_delay(cfg.seed, path, hop, cfg.hop_delay,
+                                      cfg.delay_spread_us);
   };
 
   const std::int64_t round_ns = cfg.round_length.nanoseconds();
@@ -128,11 +60,9 @@ FaultScenarioResult run_fault_scenario(const FaultScenarioConfig& cfg) {
   FaultScenarioResult result;
   for (std::size_t i = 0; i < multi.packets.size(); ++i) {
     net::Packet p = multi.packets[i];
-    p.origin_time =
-        net::Timestamp{p.origin_time.nanoseconds() / 1000 * 1000};
-    std::size_t r =
-        static_cast<std::size_t>(p.origin_time.nanoseconds() / round_ns);
-    if (r >= cfg.rounds) r = cfg.rounds - 1;
+    p.origin_time = scenario::quantize_us(p.origin_time);
+    const std::size_t r =
+        scenario::round_of(p.origin_time, round_ns, cfg.rounds);
     const std::size_t path = multi.path_of[i];
     round_packets[r].push_back(p);
     for (std::size_t h = 0; h < kHops; ++h) {
@@ -142,8 +72,7 @@ FaultScenarioResult run_fault_scenario(const FaultScenarioConfig& cfg) {
   }
 
   // --- collectors ---------------------------------------------------------
-  result.layout = core::PathLayout{
-      .hops = {1, 2, 3}, .domain_of = {"alpha", "alpha", "beta"}};
+  result.layout = scenario::three_hop_layout();
 
   std::array<collector::MonitoringCache::Config, kHops> hop_cfg;
   std::array<std::optional<collector::MonitoringCache>, kHops> caches;

@@ -65,6 +65,10 @@ PathRunResult run_path(std::span<const net::Packet> trace,
         alive = false;
         break;
       }
+      if (link.targeted_drop && link.targeted_drop(trace[i])) {
+        alive = false;
+        break;
+      }
       t += link.delay + jitter_of(link.jitter);
 
       // Domain d's ingress HOP.
@@ -81,6 +85,10 @@ PathRunResult run_path(std::span<const net::Packet> trace,
         break;
       }
       if (dom.targeted_drop && dom.targeted_drop(trace[i])) {
+        alive = false;
+        break;
+      }
+      if (dom.drop_by_index && dom.drop_by_index(pkt)) {
         alive = false;
         break;
       }

@@ -44,6 +44,11 @@ struct DomainSegment {
   /// Content-targeted drops (e.g. an adversary discarding marker packets,
   /// Section 5.3); applied in addition to `loss`.
   std::function<bool(const net::Packet&)> targeted_drop;
+  /// Index-keyed drops: a precomputed drop schedule over the trace (e.g.
+  /// the congestion simulator's per-packet DelayOutcome.dropped series,
+  /// which pairs with a delay_of over the same indices).  Applied in
+  /// addition to `loss` and `targeted_drop`.
+  std::function<bool(PacketIndex)> drop_by_index;
   /// Uniform extra delay in [0, jitter]: packets closer together than this
   /// can be reordered inside the domain.
   net::Duration jitter;
@@ -56,6 +61,10 @@ struct LinkSegment {
   /// A faulty link drops packets (Section 3.1's "inconsistency can be due
   /// either to a lie or to a faulty inter-domain link").
   loss::LossModel* loss = nullptr;
+  /// Content-targeted drops: a timed link failure kills every packet that
+  /// would cross while it is down (keyed off the packet's ground-truth
+  /// origin_time).  Applied in addition to `loss`.
+  std::function<bool(const net::Packet&)> targeted_drop;
 };
 
 /// A path of N domains: the first exposes only an egress HOP, the last

@@ -8,6 +8,7 @@
 
 #include "collector/sharded_collector.hpp"
 #include "net/wire.hpp"
+#include "sim/scenario_common.hpp"
 #include "trace/synthetic_trace.hpp"
 
 namespace vpm::sim {
@@ -49,13 +50,10 @@ void replay_slices(std::span<const net::Packet> packets, std::size_t min_batch,
 }  // namespace
 
 ShardScenarioResult run_shard_scenario(const ShardScenarioConfig& cfg) {
-  trace::MultiPathConfig mcfg;
-  mcfg.path_count = cfg.path_count;
-  mcfg.zipf_s = cfg.zipf_s;
-  mcfg.total_packets_per_second = cfg.total_packets_per_second;
-  mcfg.duration = cfg.duration;
-  mcfg.seed = cfg.seed;
-  const trace::MultiPathTrace multi = trace::generate_multi_path(mcfg);
+  const trace::MultiPathTrace multi = trace::generate_multi_path(
+      scenario::multi_path_config(cfg.path_count, cfg.zipf_s,
+                                  cfg.total_packets_per_second, cfg.duration,
+                                  cfg.seed));
 
   collector::MonitoringCache::Config ccfg;
   ccfg.protocol.digest_mode = cfg.digest_mode;

@@ -2,6 +2,7 @@
 // methodology, plus the Bernoulli baseline).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "loss/bernoulli.hpp"
@@ -106,6 +107,90 @@ TEST(GilbertElliott, ExpectedRateFormulaMatchesParams) {
                              1};
   // pi_bad = 0.02/0.2 = 0.1; loss = 0.1*0.5 = 0.05.
   EXPECT_NEAR(model.expected_loss_rate(), 0.05, 1e-12);
+}
+
+TEST(GilbertElliott, MeasuredRateConvergesToExpected) {
+  // expected_loss_rate() is the stationary-chain formula; the realised
+  // long-run rate of a general two-state chain (lossy GOOD state too)
+  // must converge to it.
+  GilbertElliott model{GilbertElliott::Params{.p_good_to_bad = 0.02,
+                                              .p_bad_to_good = 0.3,
+                                              .loss_good = 0.01,
+                                              .loss_bad = 0.8},
+                       11};
+  EXPECT_NEAR(measured_loss(model, 2'000'000), model.expected_loss_rate(),
+              0.003);
+}
+
+TEST(GilbertElliott, WithTargetLossRoundTripsParameters) {
+  const double target = 0.07;
+  const double burst = 6.0;
+  const auto model = GilbertElliott::with_target_loss(target, burst, 2);
+  const GilbertElliott::Params& p = model.params();
+  // Classic GE: GOOD never drops, BAD always drops, so the mean BAD
+  // sojourn is the burst length and the stationary BAD share is the
+  // target rate.
+  EXPECT_EQ(p.loss_good, 0.0);
+  EXPECT_EQ(p.loss_bad, 1.0);
+  EXPECT_NEAR(p.p_bad_to_good, 1.0 / burst, 1e-12);
+  const double pi_bad =
+      p.p_good_to_bad / (p.p_good_to_bad + p.p_bad_to_good);
+  EXPECT_NEAR(pi_bad, target, 1e-12);
+  EXPECT_NEAR(model.expected_loss_rate(), target, 1e-12);
+  // And rebuilding a model from the extracted parameters reproduces the
+  // drop sequence exactly (same seed, same chain).
+  GilbertElliott a = model;
+  GilbertElliott b{p, 2};
+  a.reset();
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_EQ(a.should_drop(), b.should_drop()) << "at packet " << i;
+  }
+}
+
+TEST(GilbertElliott, BurstLengthsAreGeometric) {
+  // BAD sojourns of the classic chain are geometric with mean L: the
+  // length-1 share is ~1/L and the empirical CDF at L is ~1-(1-1/L)^L.
+  const double burst = 8.0;
+  auto model = GilbertElliott::with_target_loss(0.2, burst, 13);
+  std::vector<std::size_t> lengths;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < 2'000'000; ++i) {
+    if (model.should_drop()) {
+      ++run;
+    } else if (run != 0) {
+      lengths.push_back(run);
+      run = 0;
+    }
+  }
+  ASSERT_GT(lengths.size(), 10'000u);
+  std::size_t ones = 0;
+  std::size_t within_mean = 0;
+  double sum = 0.0;
+  for (const std::size_t len : lengths) {
+    sum += static_cast<double>(len);
+    if (len == 1) ++ones;
+    if (static_cast<double>(len) <= burst) ++within_mean;
+  }
+  const double n = static_cast<double>(lengths.size());
+  EXPECT_NEAR(sum / n, burst, 0.15);
+  EXPECT_NEAR(static_cast<double>(ones) / n, 1.0 / burst, 0.01);
+  EXPECT_NEAR(static_cast<double>(within_mean) / n,
+              1.0 - std::pow(1.0 - 1.0 / burst, burst), 0.01);
+}
+
+TEST(GilbertElliott, DegeneratesToBernoulliWhenStatesMatch) {
+  // With equal per-state drop probabilities the hidden state is
+  // irrelevant: the chain IS a Bernoulli process at that rate.
+  const double rate = 0.08;
+  GilbertElliott ge{GilbertElliott::Params{.p_good_to_bad = 0.3,
+                                           .p_bad_to_good = 0.4,
+                                           .loss_good = rate,
+                                           .loss_bad = rate},
+                    17};
+  EXPECT_NEAR(ge.expected_loss_rate(), rate, 1e-12);
+  BernoulliLoss bernoulli(rate, 17);
+  EXPECT_NEAR(measured_loss(ge, 1'000'000),
+              measured_loss(bernoulli, 1'000'000), 0.002);
 }
 
 TEST(BernoulliLoss, HitsTargetRate) {

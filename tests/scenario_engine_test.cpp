@@ -1,0 +1,174 @@
+// ScenarioConfig parsing/round-trip, run_scenario validation, the
+// determinism contract, and the checked-in scenario data files.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "scenario_grid.hpp"
+#include "sim/scenario_engine.hpp"
+
+namespace vpm {
+namespace {
+
+using sim::parse_scenario;
+using sim::run_scenario;
+using sim::ScenarioConfig;
+using sim::ScenarioOutcome;
+
+std::string load_scenario_file(const std::string& name) {
+  const std::string path = std::string(VPM_SCENARIO_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return std::move(text).str();
+}
+
+TEST(ScenarioConfig, DefaultsRoundTripToBareNameAndSeed) {
+  const ScenarioConfig cfg;
+  EXPECT_EQ(cfg.to_string(), "name=scenario seed=1");
+  const ScenarioConfig back = parse_scenario(cfg.to_string());
+  EXPECT_EQ(back.to_string(), cfg.to_string());
+}
+
+TEST(ScenarioConfig, EventfulConfigRoundTripsExactly) {
+  const char* text =
+      "name=everything seed=9 domains=A,B,C,D,E paths=5 rounds=9 "
+      "round_us=40000 pps=9000 zipf=1.1 digest=single marker_rate=0.02 "
+      "sample_rate=0.1 cut_rate=0.004 shards=2 max_diff_us=4000 "
+      "domain_delay_us=700 link_delay_us=80 jitter_domain=C jitter_us=900 "
+      "loss=ge loss_domain=B loss_rate=0.05 loss_burst=6 "
+      "adversary.B=hide_loss adversary.C=cover shave_us=9000 "
+      "fake_delay_us=700 link_down=2:3:1 route_flap=1:4:2 ttl_rounds=3 "
+      "chunk_bytes=2048 fault_drop=0.01 fault_corrupt=0.02 "
+      "fault_duplicate=0.03 fault_reorder=0.04 fault_delay=0.05 "
+      "fault_max_delay_ticks=3 fault_seed=17 crash_every=3 gap_patience=5";
+  const ScenarioConfig cfg = parse_scenario(text);
+  EXPECT_EQ(cfg.domains.size(), 5u);
+  EXPECT_EQ(cfg.adversaries.size(), 2u);
+  EXPECT_EQ(cfg.round_length, net::microseconds(40'000));
+  EXPECT_EQ(cfg.faults.max_delay_ticks, 3u);
+  // to_string -> parse -> to_string is a fixed point.
+  const ScenarioConfig back = parse_scenario(cfg.to_string());
+  EXPECT_EQ(back.to_string(), cfg.to_string());
+}
+
+TEST(ScenarioConfig, CommentsAndNewlinesAreOneGrammar) {
+  const ScenarioConfig cfg = parse_scenario(
+      "# a scenario file\n"
+      "name=filed  # trailing comment\n"
+      "seed=3\n"
+      "loss=bernoulli\n");
+  EXPECT_EQ(cfg.name, "filed");
+  EXPECT_EQ(cfg.seed, 3u);
+  EXPECT_EQ(cfg.loss, sim::LossKind::kBernoulli);
+}
+
+TEST(ScenarioConfig, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_scenario("bogus_key=1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("seed"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("seed=notanumber"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("seed=1trailing"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("loss=unknownkind"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("digest=both"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("adversary.X=perjury"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("link_down=1:2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("domains=S,,D"), std::invalid_argument);
+}
+
+TEST(ScenarioEngine, ValidatesConfigs) {
+  const auto cfg_of = [](const char* text) { return parse_scenario(text); };
+  // Fewer than three domains: no transit domain to measure.
+  EXPECT_THROW((void)run_scenario(cfg_of("domains=S,D")),
+               std::invalid_argument);
+  // Loss/jitter/adversary domains must name a transit domain.
+  EXPECT_THROW((void)run_scenario(cfg_of("loss=bernoulli loss_domain=Q")),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_scenario(cfg_of("loss=bernoulli loss_domain=S")),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_scenario(cfg_of("jitter_domain=D jitter_us=100")),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_scenario(cfg_of("adversary.S=hide_loss")),
+               std::invalid_argument);
+  // One strategy per domain.
+  EXPECT_THROW(
+      (void)run_scenario(parse_scenario(
+          "domains=S,X,D adversary.X=hide_loss adversary.X=cover")),
+      std::invalid_argument);
+  // A route flap may not withdraw every path.
+  EXPECT_THROW((void)run_scenario(cfg_of("paths=2 route_flap=2:1:1")),
+               std::invalid_argument);
+  // link_down index must name a real link.
+  EXPECT_THROW((void)run_scenario(cfg_of("link_down=2:1:1")),
+               std::invalid_argument);
+  // Fault delays the gap patience cannot cover would deadlock waits.
+  EXPECT_THROW((void)run_scenario(cfg_of(
+                   "fault_delay=0.1 fault_max_delay_ticks=5 gap_patience=2")),
+               std::invalid_argument);
+}
+
+// The determinism contract: identical config => bit-identical outcome,
+// and the printed repro line reproduces the run exactly.
+TEST(ScenarioEngine, DeterministicAndReproducible) {
+  const ScenarioConfig cfg = parse_scenario(
+      "name=det seed=12 domains=S,X,N,D loss=ge loss_rate=0.03 "
+      "adversary.X=hide_loss fake_delay_us=500 fault_drop=0.03 "
+      "crash_every=3 rounds=9 ttl_rounds=2 route_flap=1:3:2");
+  const ScenarioOutcome a = run_scenario(cfg);
+  const ScenarioOutcome b = run_scenario(cfg);
+  EXPECT_EQ(a, b) << "same config diverged; repro: " << a.repro;
+  const ScenarioOutcome c = run_scenario(parse_scenario(a.repro));
+  EXPECT_EQ(a, c) << "repro line is not self-contained; repro: " << a.repro;
+}
+
+TEST(ScenarioEngine, HonestBaselineFile) {
+  const ScenarioOutcome out =
+      run_scenario(parse_scenario(load_scenario_file("honest_baseline.conf")));
+  EXPECT_TRUE(test::is_clean(out));
+  EXPECT_TRUE(test::conserves_receipts(out));
+  EXPECT_TRUE(test::loss_tracks_truth(out, "X", 1e-9));
+}
+
+TEST(ScenarioEngine, HideLossFile) {
+  const ScenarioOutcome out =
+      run_scenario(parse_scenario(load_scenario_file("hide_loss.conf")));
+  EXPECT_TRUE(test::only_implicates(out, "X", "N"));
+  EXPECT_LE(out.estimated_loss("X"), 1e-9) << "repro: " << out.repro;
+  EXPECT_GT(out.true_loss("X"), 0.0) << "repro: " << out.repro;
+}
+
+TEST(ScenarioEngine, CollusionCongestionFile) {
+  const ScenarioOutcome out = run_scenario(
+      parse_scenario(load_scenario_file("collusion_congestion.conf")));
+  EXPECT_TRUE(test::blame_displaced(out, "X", "N", 1e-9));
+  EXPECT_GT(out.true_loss("X"), 0.0) << "repro: " << out.repro;
+}
+
+TEST(ScenarioEngine, FaultyWireChurnFile) {
+  const ScenarioOutcome out = run_scenario(
+      parse_scenario(load_scenario_file("faulty_wire_churn.conf")));
+  SCOPED_TRACE("repro: " + out.repro);
+  // Graceful degradation: the wire destroyed envelopes and the damage is
+  // RECORDED as gaps, not silently absorbed into findings.
+  EXPECT_GT(out.envelopes_destroyed, 0u);
+  std::size_t gap_count = 0;
+  for (const auto& per_hop : out.gaps) gap_count += per_hop.size();
+  EXPECT_GT(gap_count, 0u);
+  EXPECT_GT(out.client_rebuilds, 0u);
+  // Crash-restarts never double-deliver (acks are atomic with delivery)
+  // and never leave the fleet stuck.
+  EXPECT_EQ(out.ack_rejections, 0u);
+  for (const std::size_t lag : out.consumer_lag_end) EXPECT_EQ(lag, 0u);
+  EXPECT_EQ(out.store_envelopes_end, 0u);
+  EXPECT_GT(out.store_gc_erased, 0u);
+}
+
+}  // namespace
+}  // namespace vpm

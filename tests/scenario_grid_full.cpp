@@ -1,0 +1,39 @@
+// The full detection-envelope grid: every scenario class x loss model x
+// digest mode cell at five independent seeds.  Built as its own binary
+// (vpm_scenario_grid) and labelled `scenario-full` so the tier-1 sweep
+// skips it (`ctest -LE scenario-full`) and CI runs it as a dedicated
+// step (`ctest -L scenario-full`).
+#include <gtest/gtest.h>
+
+#include "scenario_grid.hpp"
+
+namespace vpm {
+namespace {
+
+class ScenarioGridFull
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ScenarioGridFull, Envelope) {
+  const auto [loss_i, mode_i] = GetParam();
+  const sim::LossKind loss = test::kGridLossKinds[loss_i];
+  const net::DigestMode mode = test::kGridModes[mode_i];
+  for (const test::GridClass cls : test::kGridClasses) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      test::check_cell(cls, loss, mode, seed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, ScenarioGridFull,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Range(0, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(vpm::test::loss_tag(
+                 vpm::test::kGridLossKinds[std::get<0>(info.param)])) +
+             "_" +
+             vpm::test::mode_tag(
+                 vpm::test::kGridModes[std::get<1>(info.param)]);
+    });
+
+}  // namespace
+}  // namespace vpm

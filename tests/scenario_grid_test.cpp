@@ -1,0 +1,26 @@
+// The coarse scenario detection-envelope grid (one seed per cell):
+// scenario classes x loss models x digest modes, asserting the §6
+// envelope — honest runs produce zero liar findings, every adversary
+// strategy is detected, loss localisation stays exact.  The deep version
+// of the same grid (many seeds per cell) lives in scenario_grid_full.cpp
+// behind `ctest -L scenario-full`.
+#include <gtest/gtest.h>
+
+#include "scenario_grid.hpp"
+
+namespace vpm {
+namespace {
+
+TEST(ScenarioGrid, CoarseEnvelope) {
+  std::uint64_t seed = 100;
+  for (const test::GridClass cls : test::kGridClasses) {
+    for (const sim::LossKind loss : test::kGridLossKinds) {
+      for (const net::DigestMode mode : test::kGridModes) {
+        test::check_cell(cls, loss, mode, ++seed);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vpm
