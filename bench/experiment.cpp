@@ -1,5 +1,7 @@
 #include "experiment.hpp"
 
+#include "net/simd_dispatch.hpp"
+
 namespace vpm::bench {
 
 XDomainScenario make_x_scenario(const XDomainConfig& cfg) {
@@ -75,6 +77,71 @@ core::HopReceipts collect_hop(const XDomainScenario& s, std::size_t hop_pos,
   r.samples = monitor.collect_samples();
   r.aggregates = monitor.collect_aggregates(/*flush_open=*/true);
   return r;
+}
+
+// --- machine-readable bench output --------------------------------------
+
+void JsonExportReporter::ReportRuns(const std::vector<Run>& reports) {
+  for (const Run& run : reports) {
+    // Only base iterations carry rates; aggregates (mean/median/stddev of
+    // repeated runs) would double-count, and errored runs have no data.
+    if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+    const auto ips = run.counters.find("items_per_second");
+    if (ips == run.counters.end() || ips->second.value <= 0) continue;
+
+    Row row;
+    row.name = run.benchmark_name();
+    row.mpps = ips->second.value / 1e6;
+    row.ns_per_packet = 1e9 / ips->second.value;
+    const auto hashes = run.counters.find("hashes/pkt");
+    if (hashes != run.counters.end()) {
+      row.has_hashes = true;
+      row.hashes_per_packet = hashes->second.value;
+    }
+    rows_.push_back(std::move(row));
+  }
+  ConsoleReporter::ReportRuns(reports);
+}
+
+bool JsonExportReporter::write(const std::string& bench_name,
+                               const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"simd_tier\": \"%s\",\n",
+               bench_name.c_str(),
+               net::simd::tier_name(net::simd::active_tier()));
+  std::fprintf(f, "  \"results\": [");
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    std::fprintf(f, "%s\n    {\"name\": \"%s\", ", i == 0 ? "" : ",",
+                 r.name.c_str());
+    std::fprintf(f, "\"ns_per_packet\": %.4f, \"mpps\": %.4f",
+                 r.ns_per_packet, r.mpps);
+    if (r.has_hashes) {
+      std::fprintf(f, ", \"hashes_per_packet\": %.4f", r.hashes_per_packet);
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+int run_benchmarks_with_json(int argc, char** argv,
+                             const std::string& bench_name,
+                             const std::string& json_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonExportReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!reporter.write(bench_name, json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace vpm::bench

@@ -4,8 +4,11 @@
 #ifndef VPM_BENCH_EXPERIMENT_HPP
 #define VPM_BENCH_EXPERIMENT_HPP
 
+#include <benchmark/benchmark.h>
+
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/hop_monitor.hpp"
@@ -71,6 +74,56 @@ inline void rule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+// ------------------------------------------------------------------------
+// Machine-readable bench output.
+//
+// Every data-plane bench binary writes a BENCH_<name>.json next to the
+// console table, so CI (and the roadmap's measured-curve entries) can
+// consume per-packet numbers without scraping benchmark text:
+//
+//   {
+//     "bench": "fastpath",
+//     "simd_tier": "avx2",
+//     "results": [
+//       {"name": "BM_CacheObservePathSweep/100000",
+//        "ns_per_packet": 139.2, "mpps": 7.18, "hashes_per_packet": 1.0},
+//       ...
+//     ]
+//   }
+//
+// ns_per_packet/mpps derive from SetItemsProcessed (items == packets, the
+// convention every bench in this tree follows); hashes_per_packet is
+// emitted when the benchmark sets a "hashes/pkt" counter and omitted
+// otherwise.  Runs that processed no items (setup failures, pure-ms
+// benches without items) are skipped, never written as zeros.
+
+/// Console output plus a JSON export of per-packet rates (see above).
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override;
+
+  /// Serialize everything reported so far to `path` (overwrites).
+  /// Returns false (and keeps the console output intact) on I/O failure.
+  bool write(const std::string& bench_name, const std::string& path) const;
+
+ private:
+  struct Row {
+    std::string name;
+    double ns_per_packet = 0;
+    double mpps = 0;
+    double hashes_per_packet = 0;
+    bool has_hashes = false;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Standard bench main body: run all registered benchmarks with console
+/// output and write BENCH JSON to `json_path`.  Returns the process exit
+/// code.
+int run_benchmarks_with_json(int argc, char** argv,
+                             const std::string& bench_name,
+                             const std::string& json_path);
 
 }  // namespace vpm::bench
 

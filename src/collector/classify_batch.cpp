@@ -1,0 +1,19 @@
+#include "collector/classify_batch.hpp"
+
+namespace vpm::collector::detail {
+
+void hash_slots_scalar(const ClassifyHashParams& cp, const net::Packet* pkts,
+                       std::size_t n, std::uint64_t* keys,
+                       std::uint32_t* slots) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::PacketHeader& h = pkts[i].header;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(h.src.value() & cp.src_mask) << 32) |
+        (h.dst.value() & cp.dst_mask);
+    keys[i] = key;
+    slots[i] =
+        static_cast<std::uint32_t>((key * 0x9E3779B97F4A7C15ull) >> cp.shift);
+  }
+}
+
+}  // namespace vpm::collector::detail

@@ -1,0 +1,49 @@
+// Batch classifier-hash kernel behind the SIMD dispatch shim.
+//
+// PathClassifier's per-packet lookup splits into two phases for batch
+// work: (A) key packing + Fibonacci multiply-hash to a first slot index —
+// pure arithmetic, vectorizable four keys per ymm register (64-bit lanes)
+// — and (B) the open-addressing probe, which stays scalar but runs
+// against classifier lines that phase A prefetched, so the probes of a
+// whole chunk overlap in the memory system instead of serializing.
+//
+// The AVX2 kernel computes phase A only; byte-identity with the scalar
+// key_of/slot_of pair is pinned by tests/simd_dispatch_test.cpp (the
+// 64x64 low-half multiply is emulated from 32x32 partial products —
+// AVX2 has no 64-bit low multiply).
+#ifndef VPM_COLLECTOR_CLASSIFY_BATCH_HPP
+#define VPM_COLLECTOR_CLASSIFY_BATCH_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace vpm::collector::detail {
+
+/// The classifier constants phase A needs (immutable after construction).
+struct ClassifyHashParams {
+  std::uint32_t src_mask = 0;
+  std::uint32_t dst_mask = 0;
+  std::uint32_t shift = 63;  ///< 64 - log2(slot count)
+};
+
+/// Phase-A kernel: keys[i] = key_of(pkts[i]), slots[i] = slot_of(keys[i])
+/// for i in [0, n).  Requires shift >= 32 so slot indices fit in 32 bits
+/// (guaranteed: the classifier caps the table at 2^32 slots).
+using HashSlotsFn = void (*)(const ClassifyHashParams&, const net::Packet*,
+                             std::size_t n, std::uint64_t* keys,
+                             std::uint32_t* slots);
+
+/// Portable scalar kernel (always available; the dispatch fallback).
+void hash_slots_scalar(const ClassifyHashParams& cp, const net::Packet* pkts,
+                       std::size_t n, std::uint64_t* keys,
+                       std::uint32_t* slots) noexcept;
+
+/// The AVX2 kernel, or nullptr when not compiled with -mavx2.  Callers
+/// must additionally check simd::active_tier().
+[[nodiscard]] HashSlotsFn hash_slots_avx2() noexcept;
+
+}  // namespace vpm::collector::detail
+
+#endif  // VPM_COLLECTOR_CLASSIFY_BATCH_HPP

@@ -1,0 +1,85 @@
+// AVX2 implementation of the classifier phase-A kernel: four packets per
+// ymm register (64-bit key lanes), eight per loop iteration.
+//
+// The Fibonacci hash is a 64x64 multiply keeping the low half, then a
+// right shift.  AVX2 has no 64-bit low multiply, so it is assembled from
+// the three 32x32 partial products that land in the low 64 bits:
+//   lo(x)*lo(C)  +  ((hi(x)*lo(C) + lo(x)*hi(C)) << 32)
+// (the hi*hi product only affects bits >= 64).  The shift count is a
+// runtime value (depends on table size), so _mm256_srl_epi64 takes it
+// from a xmm register.
+//
+// Compiled with -mavx2 (see CMakeLists); null stub otherwise.
+#include "collector/classify_batch.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace vpm::collector::detail {
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+
+// 64-bit low-half multiply by the golden-ratio constant, 4 lanes wide.
+inline __m256i mul_golden64(__m256i x) noexcept {
+  const __m256i clo =
+      _mm256_set1_epi64x(static_cast<long long>(kGolden & 0xFFFFFFFFull));
+  const __m256i chi = _mm256_set1_epi64x(static_cast<long long>(kGolden >> 32));
+  const __m256i xhi = _mm256_srli_epi64(x, 32);
+  const __m256i t0 = _mm256_mul_epu32(x, clo);    // lo(x)*lo(C), 64-bit
+  const __m256i t1 = _mm256_mul_epu32(xhi, clo);  // hi(x)*lo(C)
+  const __m256i t2 = _mm256_mul_epu32(x, chi);    // lo(x)*hi(C)
+  const __m256i hi = _mm256_add_epi64(t1, t2);
+  return _mm256_add_epi64(t0, _mm256_slli_epi64(hi, 32));
+}
+
+void hash_slots_avx2_impl(const ClassifyHashParams& cp,
+                          const net::Packet* pkts, std::size_t n,
+                          std::uint64_t* keys, std::uint32_t* slots) noexcept {
+  const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(cp.shift));
+
+  std::size_t g = 0;
+  for (; g + 8 <= n; g += 8) {
+    // Scalar key packing (two masked header words per packet) into
+    // staging, then two 4-lane multiply-hash rounds.
+    alignas(32) std::uint64_t k[8];
+    for (int l = 0; l < 8; ++l) {
+      const net::PacketHeader& h = pkts[g + l].header;
+      k[l] = (static_cast<std::uint64_t>(h.src.value() & cp.src_mask) << 32) |
+             (h.dst.value() & cp.dst_mask);
+    }
+    const __m256i k0 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(k + 0));
+    const __m256i k1 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(k + 4));
+    const __m256i s0 = _mm256_srl_epi64(mul_golden64(k0), shift);
+    const __m256i s1 = _mm256_srl_epi64(mul_golden64(k1), shift);
+    // shift >= 32 leaves each 64-bit lane < 2^32: pack the low words.
+    alignas(32) std::uint64_t s[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(s + 0), s0);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(s + 4), s1);
+    for (int l = 0; l < 8; ++l) {
+      keys[g + l] = k[l];
+      slots[g + l] = static_cast<std::uint32_t>(s[l]);
+    }
+  }
+
+  if (g < n) hash_slots_scalar(cp, pkts + g, n - g, keys + g, slots + g);
+}
+
+}  // namespace
+
+HashSlotsFn hash_slots_avx2() noexcept { return &hash_slots_avx2_impl; }
+
+}  // namespace vpm::collector::detail
+
+#else  // !defined(__AVX2__)
+
+namespace vpm::collector::detail {
+
+HashSlotsFn hash_slots_avx2() noexcept { return nullptr; }
+
+}  // namespace vpm::collector::detail
+
+#endif  // defined(__AVX2__)

@@ -1,7 +1,11 @@
 #include "collector/monitoring_cache.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
+
+#include "collector/classify_batch.hpp"
+#include "net/simd_dispatch.hpp"
 
 namespace vpm::collector {
 
@@ -9,7 +13,10 @@ PathClassifier::PathClassifier(std::span<const net::PrefixPair> paths) {
   if (paths.empty()) {
     throw std::invalid_argument("PathClassifier: no paths");
   }
-  if (paths.size() >= kEmpty) {
+  // Cap so bit_ceil(2 * paths) <= 2^32: slot indices then fit the uint32
+  // chunk arrays of classify_batch (equivalently shift_ >= 32, which the
+  // AVX2 phase-A kernel relies on to pack its 64-bit lanes).
+  if (paths.size() > (std::size_t{1} << 31)) {
     throw std::invalid_argument("PathClassifier: too many paths");
   }
   const std::uint8_t src_len = paths.front().source.length();
@@ -45,6 +52,54 @@ PathClassifier::PathClassifier(std::span<const net::PrefixPair> paths) {
   }
 }
 
+void PathClassifier::hash_slots_batch(const net::Packet* pkts, std::size_t n,
+                                      std::uint64_t* keys,
+                                      std::uint32_t* slots) const noexcept {
+  static const detail::HashSlotsFn avx2 = detail::hash_slots_avx2();
+  const detail::ClassifyHashParams cp{
+      .src_mask = src_mask_, .dst_mask = dst_mask_, .shift = shift_};
+  if (avx2 != nullptr && n >= 8 &&
+      net::simd::active_tier() == net::simd::Tier::kAvx2) {
+    avx2(cp, pkts, n, keys, slots);
+  } else {
+    detail::hash_slots_scalar(cp, pkts, n, keys, slots);
+  }
+  // Kick off every probe's first line before any probe blocks on one.
+  for (std::size_t i = 0; i < n; ++i) {
+    __builtin_prefetch(&slots_[slots[i]], /*rw=*/0);
+  }
+}
+
+void PathClassifier::resolve_batch(const std::uint64_t* keys,
+                                   const std::uint32_t* slots, std::size_t n,
+                                   std::uint32_t* out) const noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = keys[i];
+    std::size_t s = slots[i];
+    std::uint32_t r = kNoPath;
+    while (slots_[s].index != kEmpty) {
+      if (slots_[s].key == key) {
+        r = slots_[s].index;
+        break;
+      }
+      s = (s + 1) & mask_;
+    }
+    out[i] = r;
+  }
+}
+
+void PathClassifier::classify_batch(const net::Packet* pkts, std::size_t n,
+                                    std::uint32_t* out) const noexcept {
+  constexpr std::size_t kSpan = 64;
+  std::uint64_t keys[kSpan];
+  std::uint32_t first[kSpan];
+  for (std::size_t base = 0; base < n; base += kSpan) {
+    const std::size_t m = std::min(kSpan, n - base);
+    hash_slots_batch(pkts + base, m, keys, first);
+    resolve_batch(keys, first, m, out + base);
+  }
+}
+
 namespace {
 
 void validate_lifecycle(const LifecycleConfig& cfg) {
@@ -70,6 +125,7 @@ core::PathParams params_for(const MonitoringCache::Config& cfg) {
           core::sample_threshold_for(cfg.protocol, cfg.tuning.sample_rate),
       .cut_threshold = core::cut_threshold_for(cfg.tuning.cut_rate),
       .j_window = cfg.protocol.reorder_window_j,
+      .marker_max_age = cfg.protocol.marker_max_age,
   };
 }
 
@@ -126,50 +182,122 @@ void MonitoringCache::observe_batch_impl(std::span<const net::Packet> packets,
   std::uint64_t observed = 0;
   std::uint64_t swept = 0;
 
-  // Below ~4k paths the whole slot array fits in L2 and a straight loop
-  // wins; above it every slot access is a DRAM miss, so the loop runs in
-  // stages over small chunks: classify everything (the probes overlap in
-  // the memory system) while prefetching each path's slot line, then walk
-  // the arriving slots to prefetch the arena lines the kernel will write,
-  // then run the digest + kernel pass against warm lines.
+  // Chunked SIMD pipeline, software-pipelined two chunks deep.  While the
+  // kernel pass for chunk k runs, chunk k+1's decisions and prefetches are
+  // already issued and chunk k+2's classifier probe lines are in flight:
+  //   1. hash_slots_batch for chunk k+2 — SIMD multiply-hash plus a
+  //      prefetch of every probe's first classifier line, issued a whole
+  //      chunk before those probes run;
+  //   2. resolve_batch for chunk k+1 against lines prefetched one chunk
+  //      ago (the open-addressing probes hit warm lines);
+  //   3. a compaction pass collecting chunk k+1's known-path packets,
+  //      issuing a prefetch for each path's PathSlot line;
+  //   4. decide_batch — the 8-wide lookup3 digest of exactly the known
+  //      packets (the §7.1 accounting: unknown packets are never hashed),
+  //      whose compute overlaps the slot prefetch latency;
+  //   5. above ~4k paths, a prefetch walk over the now-warm slots for the
+  //      arena lines the kernel will touch (below, path state fits in L2
+  //      and the extra prefetch pass costs more than it hides);
+  //   6. the scalar per-packet kernel pass for chunk k — a full chunk of
+  //      classifier/digest compute after its arena prefetches were issued,
+  //      so the random arena lines have had time to arrive.  (A path
+  //      repeating across adjacent chunks can make step 5's addresses
+  //      stale — that only mis-aims a prefetch, never the kernel.)
   constexpr std::size_t kStagedThreshold = 4096;
-  if (state_.path_count() <= kStagedThreshold) {
-    for (std::size_t i = 0; i < packets.size(); ++i) {
-      const net::Packet& p = packets[i];
-      const std::size_t path = classifier_.classify(p.header);
-      if (path == PathClassifier::npos) {
+  constexpr std::size_t kChunk = 64;
+  const bool staged = state_.path_count() > kStagedThreshold;
+  std::uint64_t keys_a[kChunk], keys_b[kChunk];
+  std::uint32_t slot_a[kChunk], slot_b[kChunk];
+  std::uint64_t* keys_cur = keys_a;
+  std::uint64_t* keys_next = keys_b;
+  std::uint32_t* slot_cur = slot_a;
+  std::uint32_t* slot_next = slot_b;
+  std::uint32_t path_a[kChunk], path_b[kChunk];
+  std::uint32_t known_a[kChunk], known_b[kChunk];
+  net::PacketDecisions dec_a[kChunk], dec_b[kChunk];
+  std::uint32_t* path_cur = path_a;
+  std::uint32_t* path_prev = path_b;
+  std::uint32_t* known_cur = known_a;
+  std::uint32_t* known_prev = known_b;
+  net::PacketDecisions* dec_cur = dec_a;
+  net::PacketDecisions* dec_prev = dec_b;
+  std::size_t m_prev = 0;
+  std::size_t base_prev = 0;
+  bool have_prev = false;
+  {
+    const std::size_t n0 = std::min(kChunk, packets.size());
+    classifier_.hash_slots_batch(packets.data(), n0, keys_cur, slot_cur);
+  }
+  const core::PathSlot* slots = state_.slots.data();
+  const auto kernel_pass = [&](std::size_t base, const std::uint32_t* path_of,
+                               const std::uint32_t* known,
+                               const net::PacketDecisions* dec,
+                               std::size_t m) {
+    const net::Packet* p = packets.data() + base;
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t i = known[j];
+      swept += core::path_observe(
+          state_, path_of[i], dec[j],
+          use_origin_time ? p[i].origin_time : when[base + i]);
+    }
+    observed += m;
+  };
+  for (std::size_t base = 0; base < packets.size(); base += kChunk) {
+    const std::size_t n = std::min(kChunk, packets.size() - base);
+    const net::Packet* p = packets.data() + base;
+
+    const std::size_t next = base + kChunk;
+    if (next < packets.size()) {
+      classifier_.hash_slots_batch(packets.data() + next,
+                                   std::min(kChunk, packets.size() - next),
+                                   keys_next, slot_next);
+    }
+    classifier_.resolve_batch(keys_cur, slot_cur, n, path_cur);
+    std::swap(keys_cur, keys_next);
+    std::swap(slot_cur, slot_next);
+
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (path_cur[i] == PathClassifier::kNoPath) {
         ++unknown;
         continue;
       }
-      const net::PacketDecisions d = engine_.decide(p);
-      swept += core::path_observe(state_, path, d,
-                                  use_origin_time ? p.origin_time : when[i]);
-      ++observed;
+      known_cur[m++] = static_cast<std::uint32_t>(i);
+      if (staged) __builtin_prefetch(&slots[path_cur[i]], /*rw=*/1);
     }
-  } else {
-    constexpr std::size_t kChunk = 64;
-    constexpr std::uint32_t kUnknown = 0xFFFFFFFFu;  // > any classifier index
-    std::uint32_t path_of[kChunk];
-    for (std::size_t base = 0; base < packets.size(); base += kChunk) {
-      const std::size_t n = std::min(kChunk, packets.size() - base);
-      const core::PathSlot* slots = state_.slots.data();
-      for (std::size_t i = 0; i < n; ++i) {
-        const std::size_t path =
-            classifier_.classify(packets[base + i].header);
-        if (path == PathClassifier::npos) {
-          path_of[i] = kUnknown;
-          continue;
-        }
-        path_of[i] = static_cast<std::uint32_t>(path);
-        __builtin_prefetch(&slots[path], /*rw=*/1);
-      }
+
+    engine_.decide_batch(p, known_cur, m, dec_cur);
+
+    if (staged) {
       const core::TimedDigest* buf = state_.buf_arena.data();
       const core::TimedDigest* ring = state_.ring_arena.data();
-      for (std::size_t i = 0; i < n; ++i) {
-        if (path_of[i] == kUnknown) continue;
-        const core::PathSlot& sl = slots[path_of[i]];
+      const std::int64_t max_age_ns =
+          state_.params.marker_max_age.nanoseconds();
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::size_t i = known_cur[j];
+        const core::PathSlot& sl = slots[path_cur[i]];
         if (sl.warm.buf_cap != 0) {
           __builtin_prefetch(buf + sl.warm.buf_begin + sl.hot.buf_size, 1);
+          // Slice head: the time-keyed marker rule reads buf[0] every
+          // packet, and sweeps walk the slice from the front.
+          __builtin_prefetch(buf + sl.warm.buf_begin, 0);
+          // Sweep-imminent: when even the NEWEST buffered record (stamped
+          // last_at_ns or later) has outlived marker_max_age, this packet
+          // sweeps the whole slice — pull in the middle lines the two end
+          // prefetches above don't cover.
+          if (max_age_ns > 0 && sl.hot.buf_size > 8) {
+            const std::int64_t now_ns =
+                (use_origin_time ? p[i].origin_time : when[base + i])
+                    .nanoseconds();
+            if (now_ns - sl.hot.last_at_ns >= max_age_ns) {
+              constexpr std::size_t kPerLine =
+                  64 / sizeof(core::TimedDigest);
+              for (std::size_t r = kPerLine; r < sl.hot.buf_size;
+                   r += kPerLine) {
+                __builtin_prefetch(buf + sl.warm.buf_begin + r, 0);
+              }
+            }
+          }
         }
         if (sl.warm.ring_cap != 0) {
           const std::uint32_t mask = sl.warm.ring_cap - 1;
@@ -177,21 +305,26 @@ void MonitoringCache::observe_batch_impl(std::span<const net::Packet> packets,
               ring + sl.warm.ring_begin +
                   ((sl.hot.ring_head + sl.hot.ring_size) & mask),
               1);
+          // Ring head: the J-window eviction loop reads the oldest entry,
+          // which sits a window's worth of records behind the append line.
+          __builtin_prefetch(
+              ring + sl.warm.ring_begin + (sl.hot.ring_head & mask), 0);
         }
-      }
-      for (std::size_t i = 0; i < n; ++i) {
-        if (path_of[i] == kUnknown) {
-          ++unknown;
-          continue;
-        }
-        const net::Packet& p = packets[base + i];
-        const net::PacketDecisions d = engine_.decide(p);
-        swept += core::path_observe(
-            state_, path_of[i], d,
-            use_origin_time ? p.origin_time : when[base + i]);
-        ++observed;
       }
     }
+
+    if (have_prev) {
+      kernel_pass(base_prev, path_prev, known_prev, dec_prev, m_prev);
+    }
+    std::swap(path_cur, path_prev);
+    std::swap(known_cur, known_prev);
+    std::swap(dec_cur, dec_prev);
+    m_prev = m;
+    base_prev = base;
+    have_prev = true;
+  }
+  if (have_prev) {
+    kernel_pass(base_prev, path_prev, known_prev, dec_prev, m_prev);
   }
   unknown_ += unknown;
   ops_.memory_accesses += observed * 3;

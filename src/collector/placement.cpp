@@ -1,0 +1,94 @@
+#include "collector/placement.hpp"
+
+#include <algorithm>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+#include "net/packet.hpp"
+#include "net/time.hpp"
+
+namespace vpm::collector {
+
+std::size_t online_cpus() noexcept {
+#if defined(__linux__)
+  // The affinity mask, not the machine: a container pinned to 2 of 64
+  // cores should shard-pin within its 2.
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  if (n > 0) return static_cast<std::size_t>(n);
+#endif
+  return 1;
+}
+
+std::size_t l2_cache_bytes() noexcept {
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  const long n = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (n > 0) return static_cast<std::size_t>(n);
+#endif
+  return 0;
+}
+
+std::size_t resolve_queue_capacity(std::size_t requested,
+                                   std::size_t batch_hint_packets) noexcept {
+  if (requested != 0) return requested;
+  constexpr std::size_t kDefault = 256;
+  const std::size_t l2 = l2_cache_bytes();
+  if (l2 == 0 || batch_hint_packets == 0) return kDefault;
+  // One in-flight batch carries the packets plus their timestamps; aim the
+  // queue's total payload at one L2 so a full queue is a warm working set,
+  // not a DRAM backlog.
+  const std::size_t batch_bytes =
+      batch_hint_packets * (sizeof(net::Packet) + sizeof(net::Timestamp));
+  return std::clamp<std::size_t>(l2 / batch_bytes, 16, 1024);
+}
+
+int pin_current_thread(std::size_t cpu_index) noexcept {
+#if defined(__linux__)
+  // Map the index onto the process's allowed CPUs in ascending order, so
+  // round-robin pinning spreads over what the container actually grants.
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return -1;
+  const int count = CPU_COUNT(&allowed);
+  if (count <= 0) return -1;
+  int target = static_cast<int>(cpu_index % static_cast<std::size_t>(count));
+  int cpu = -1;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (!CPU_ISSET(c, &allowed)) continue;
+    if (target-- == 0) {
+      cpu = c;
+      break;
+    }
+  }
+  if (cpu < 0) return -1;
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  CPU_SET(cpu, &one);
+  if (pthread_setaffinity_np(pthread_self(), sizeof(one), &one) != 0) {
+    return -1;
+  }
+  return current_cpu();
+#else
+  (void)cpu_index;
+  return -1;
+#endif
+}
+
+int current_cpu() noexcept {
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+}  // namespace vpm::collector

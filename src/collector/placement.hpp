@@ -1,0 +1,64 @@
+// CPU/topology placement for the sharded collector: worker pinning,
+// L2-aware queue sizing, and the NUMA first-touch construction hook.
+//
+// A shared-nothing shard scales only when its working set stays in the
+// cache hierarchy next to the core running it.  Three placement levers:
+//
+//   * pin_workers — pin shard worker threads round-robin over the CPUs in
+//     the process affinity mask, so a shard's PathSlot/arena lines stop
+//     migrating between cores on every reschedule;
+//   * queue_capacity = 0 — auto-size each (producer, shard) SPSC queue so
+//     its in-flight packet payload roughly fits the per-core L2, instead
+//     of a fixed depth that is either a cache-thrashing backlog (deep) or
+//     a producer stall (shallow);
+//   * numa_first_touch — defer each shard cache's construction to the
+//     worker thread that will run it, so the kernel's first-touch policy
+//     places the slot table and arenas on the worker's NUMA node rather
+//     than the constructor thread's.
+//
+// Everything here degrades gracefully: on kernels without the relevant
+// syscalls/sysconf values the helpers return conservative defaults and
+// pinning reports -1 (not pinned) instead of failing.
+#ifndef VPM_COLLECTOR_PLACEMENT_HPP
+#define VPM_COLLECTOR_PLACEMENT_HPP
+
+#include <cstddef>
+
+namespace vpm::collector {
+
+/// Placement knobs for ShardedCollector (see file comment).
+struct PlacementConfig {
+  /// Pin each shard worker to CPU (shard index mod online CPUs).
+  bool pin_workers = false;
+  /// Construct each shard's MonitoringCache on its worker thread (first
+  /// touch on the owning core/node) instead of in the collector
+  /// constructor.  Synchronous use before start() still works: the cache
+  /// is then built on the first thread that needs it.
+  bool numa_first_touch = false;
+};
+
+/// CPUs this process may run on (affinity-mask aware), at least 1.
+[[nodiscard]] std::size_t online_cpus() noexcept;
+
+/// Per-core L2 data-cache size in bytes, or 0 when the kernel does not
+/// expose it.
+[[nodiscard]] std::size_t l2_cache_bytes() noexcept;
+
+/// Resolve an SPSC queue capacity (in batches): a nonzero request passes
+/// through; 0 auto-sizes so `capacity x batch_hint_packets` packets of
+/// in-flight payload roughly fill one L2 (clamped to [16, 1024]; 256 when
+/// the L2 size is unknown).
+[[nodiscard]] std::size_t resolve_queue_capacity(
+    std::size_t requested, std::size_t batch_hint_packets) noexcept;
+
+/// Pin the calling thread to CPU (cpu_index mod online_cpus()).  Returns
+/// the CPU the thread reports running on afterwards, or -1 when pinning
+/// is unsupported or failed (the thread keeps its old mask).
+int pin_current_thread(std::size_t cpu_index) noexcept;
+
+/// CPU the calling thread is currently running on, or -1 when unknown.
+[[nodiscard]] int current_cpu() noexcept;
+
+}  // namespace vpm::collector
+
+#endif  // VPM_COLLECTOR_PLACEMENT_HPP

@@ -35,6 +35,21 @@ struct ProtocolParams {
   /// magnitude above the millisecond threshold" measured in [10] (§7.1).
   net::Duration reorder_window_j = net::milliseconds(10);
 
+  /// Time-keyed marker rule (0 disables — the default).  Algorithm 1 as
+  /// written buffers ~1/marker_rate records per path between markers, so a
+  /// slow path (or a slow replay over 100k paths) holds records far beyond
+  /// the J-window bound the paper's temp-buffer sizing assumes.  When set,
+  /// a packet arriving while the OLDEST buffered record is at least this
+  /// old acts as a forced marker: it sweeps the buffer exactly like a
+  /// digest-selected marker, bounding both buffered records
+  /// (~rate x marker_max_age per path) and record latency.  Protocol-wide
+  /// like mu: every HOP of a deployment must use the same value.  Forced
+  /// markers are triggered by LOCAL arrival times, so HOPs whose clocks
+  /// disagree may force at different packets and transiently diverge in
+  /// which buffered records they sample — the same per-packet-membership
+  /// coarseness the §6.3 migration rules already tolerate.
+  net::Duration marker_max_age{0};
+
   [[nodiscard]] std::uint32_t marker_threshold() const {
     return net::rate_to_threshold(marker_rate);
   }

@@ -85,7 +85,8 @@ class HopMonitor {
                    .sample_threshold = sample_threshold_for(
                        cfg.protocol, cfg.tuning.sample_rate),
                    .cut_threshold = cut_threshold_for(cfg.tuning.cut_rate),
-                   .j_window = cfg.protocol.reorder_window_j},
+                   .j_window = cfg.protocol.reorder_window_j,
+                   .marker_max_age = cfg.protocol.marker_max_age},
                1) {}
 
   /// Data-plane per-packet step (classification into this path has already

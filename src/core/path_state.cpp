@@ -99,7 +99,17 @@ std::size_t path_observe_sampler(PathStateSoA& s, std::size_t path,
                                  net::Timestamp when) {
   PathSlot& slot = s.slots[path];
 
-  if (d.marker_value > s.params.marker_threshold) {
+  // Time-keyed marker rule: when enabled, a packet arriving while the
+  // OLDEST buffered record (always buf[0] — sweeps empty the buffer, so
+  // records sit in arrival order) has aged past marker_max_age acts as a
+  // forced marker.  This bounds the per-path temp buffer by time
+  // (~rate x max_age records) instead of Algorithm 1's ~1/marker_rate
+  // expectation, which a slow path can exceed without bound.
+  const bool forced_marker =
+      s.params.marker_max_age > net::Duration{0} && slot.hot.buf_size != 0 &&
+      when - s.buf_arena[slot.warm.buf_begin].time >= s.params.marker_max_age;
+
+  if (forced_marker || d.marker_value > s.params.marker_threshold) {
     // Algorithm 1, lines 1-6: the marker decides the fate of everything
     // buffered since the previous marker.
     PathStats& st = s.stats[path];

@@ -53,6 +53,10 @@ struct PathParams {
   std::uint32_t sample_threshold = 0;  ///< sigma (local tuning)
   std::uint32_t cut_threshold = 0;     ///< delta (local tuning)
   net::Duration j_window{0};           ///< reorder safety window J
+  /// Time-keyed marker rule (see ProtocolParams::marker_max_age): a packet
+  /// arriving while the oldest buffered record is at least this old acts
+  /// as a forced marker.  0 disables (the paper-faithful default).
+  net::Duration marker_max_age{0};
 };
 
 /// The state a packet touches on the data-plane fast path, one contiguous

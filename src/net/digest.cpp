@@ -6,33 +6,16 @@
 #include <stdexcept>
 
 #include "net/bob_hash.hpp"
+#include "net/digest_batch.hpp"
+#include "net/simd_dispatch.hpp"
 
 namespace vpm::net {
-namespace {
 
-// Role seeds: arbitrary distinct constants fixed at protocol design time
-// (system-wide, like the marker threshold mu in Section 5.1).
-constexpr std::uint32_t kIdSeed = 0x56504d31u;      // "VPM1"
-constexpr std::uint32_t kMarkerSeed = 0x4d41524bu;  // "MARK"
-constexpr std::uint32_t kCutSeed = 0x43555421u;     // "CUT!"
-constexpr std::uint32_t kSampleSeed = 0x53414d50u;  // "SAMP"
-
-// Seeded avalanche finalizer: a 32-bit bijection per seed (xor, then
-// multiply by an odd constant, then fold the high bits down), so role
-// values stay uniform whenever the base digest is.  This is how
-// kIndependent derives marker/cut values from the single per-packet hash
-// instead of re-hashing the full header.  One multiply (vs murmur3's
-// two-multiply fmix32) keeps the §7.1 per-packet budget at "one hash plus
-// a few cycles"; the marker/cut decisions only compare against a
-// threshold, for which the multiplicative scramble of the high bits is
-// ample.
-constexpr std::uint32_t role_mix(std::uint32_t x, std::uint32_t seed) noexcept {
-  x = (x ^ seed) * 0x9E3779B1u;  // odd multiplier: bijective mod 2^32
-  x ^= x >> 16;
-  return x;
-}
-
-}  // namespace
+// Role seeds, role_mix and the default-spec word-streaming digest moved to
+// net/digest_batch.hpp so the batch kernels (scalar and AVX2) share the one
+// definition with this scalar engine.
+using detail::kIdSeed;
+using detail::kSampleSeed;
 
 std::uint32_t DigestEngine::hash_fields(const Packet& p,
                                         std::uint32_t seed) const noexcept {
@@ -42,29 +25,12 @@ std::uint32_t DigestEngine::hash_fields(const Packet& p,
   // The default spec (everything but length) is the hot path: stream its
   // 23 bytes straight into the lookup3 state as assembled words, skipping
   // the stack buffer (and its store-to-load-forwarding stalls).  The word
-  // values below are exactly what bob_hash's little-endian loads would
-  // read from the serialized layout — the pinned-digest test guards this.
+  // values are exactly what bob_hash's little-endian loads would read from
+  // the serialized layout — the pinned-digest test guards this.
   // Little-endian only: the buffer path memcpy's native bytes, so on a
   // big-endian target the assembled words would disagree with it.
   if (std::endian::native == std::endian::little && default_spec_) {
-    const PacketHeader& h = p.header;
-    std::uint32_t a = lookup3::init(23, seed);
-    std::uint32_t b = a;
-    std::uint32_t c = a;
-    // Bytes 0..11: src, dst, src_port | dst_port.
-    a += h.src.value();
-    b += h.dst.value();
-    c += static_cast<std::uint32_t>(h.src_port) |
-         (static_cast<std::uint32_t>(h.dst_port) << 16);
-    lookup3::mix(a, b, c);
-    // Tail bytes 12..22: protocol, ip_id, payload_prefix.
-    a += static_cast<std::uint32_t>(h.protocol) |
-         (static_cast<std::uint32_t>(h.ip_id) << 8) |
-         (static_cast<std::uint32_t>(p.payload_prefix & 0xFFu) << 24);
-    b += static_cast<std::uint32_t>((p.payload_prefix >> 8) & 0xFFFFFFFFu);
-    c += static_cast<std::uint32_t>((p.payload_prefix >> 40) & 0xFFFFFFu);
-    lookup3::final_mix(a, b, c);
-    return c;
+    return detail::digest23(p, seed);
   }
 
   std::byte buf[32];
@@ -107,13 +73,27 @@ std::uint32_t DigestEngine::hash_fields(const Packet& p,
 }
 
 PacketDecisions DigestEngine::decide(const Packet& p) const noexcept {
-  const PacketDigest base = hash_fields(p, kIdSeed);
-  if (mode_ == DigestMode::kSingle) {
-    return PacketDecisions{.id = base, .marker_value = base, .cut_value = base};
+  return detail::decisions_of(hash_fields(p, kIdSeed), mode_);
+}
+
+void DigestEngine::decide_batch(const Packet* pkts, const std::uint32_t* idx,
+                                std::size_t n,
+                                PacketDecisions* out) const noexcept {
+  // The vector kernel only knows the default-spec 23-byte layout; custom
+  // specs (and big-endian targets) take the scalar engine per packet.
+  if (default_spec_ && std::endian::native == std::endian::little) {
+    static const detail::DecideBatchFn avx2 = detail::decide_batch_avx2();
+    if (avx2 != nullptr && n >= 8 &&
+        simd::active_tier() == simd::Tier::kAvx2) {
+      avx2(pkts, idx, n, mode_, out);
+      return;
+    }
+    detail::decide_batch_scalar(pkts, idx, n, mode_, out);
+    return;
   }
-  return PacketDecisions{.id = base,
-                         .marker_value = role_mix(base, kMarkerSeed),
-                         .cut_value = role_mix(base, kCutSeed)};
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = decide(pkts[idx != nullptr ? idx[i] : i]);
+  }
 }
 
 PacketDigest DigestEngine::packet_id(const Packet& p) const noexcept {
@@ -123,13 +103,13 @@ PacketDigest DigestEngine::packet_id(const Packet& p) const noexcept {
 std::uint32_t DigestEngine::marker_value(const Packet& p) const noexcept {
   const PacketDigest base = hash_fields(p, kIdSeed);
   if (mode_ == DigestMode::kSingle) return base;
-  return role_mix(base, kMarkerSeed);
+  return detail::role_mix(base, detail::kMarkerSeed);
 }
 
 std::uint32_t DigestEngine::cut_value(const Packet& p) const noexcept {
   const PacketDigest base = hash_fields(p, kIdSeed);
   if (mode_ == DigestMode::kSingle) return base;
-  return role_mix(base, kCutSeed);
+  return detail::role_mix(base, detail::kCutSeed);
 }
 
 std::uint32_t DigestEngine::sample_value(PacketDigest q_id,

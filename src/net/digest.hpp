@@ -34,6 +34,7 @@
 #ifndef VPM_NET_DIGEST_HPP
 #define VPM_NET_DIGEST_HPP
 
+#include <cstddef>
 #include <cstdint>
 
 #include "net/packet.hpp"
@@ -104,6 +105,17 @@ class DigestEngine {
   /// In kSingle mode id == marker_value == cut_value; in kIndependent mode
   /// marker/cut are seeded avalanche mixes of the id (see header comment).
   [[nodiscard]] PacketDecisions decide(const Packet& p) const noexcept;
+
+  /// Batch decide: out[i] = decide(pkts[idx[i]]) for i in [0, n), or
+  /// decide(pkts[i]) when idx == nullptr.  For the default spec this runs
+  /// the 8-wide lookup3 kernel selected by simd::active_tier() (AVX2 hosts
+  /// hash eight packets in parallel); any other spec falls back to the
+  /// scalar engine.  Byte-identical to calling decide() per packet — the
+  /// dispatch equivalence suite pins this.  The idx form lets the
+  /// monitoring cache hash only known-path packets, preserving the "one
+  /// hash per *observed* packet" accounting.
+  void decide_batch(const Packet* pkts, const std::uint32_t* idx,
+                    std::size_t n, PacketDecisions* out) const noexcept;
 
   /// The PktID reported in receipts.
   [[nodiscard]] PacketDigest packet_id(const Packet& p) const noexcept;

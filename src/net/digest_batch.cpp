@@ -1,0 +1,14 @@
+#include "net/digest_batch.hpp"
+
+namespace vpm::net::detail {
+
+void decide_batch_scalar(const Packet* pkts, const std::uint32_t* idx,
+                         std::size_t n, DigestMode mode,
+                         PacketDecisions* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Packet& p = pkts[idx != nullptr ? idx[i] : i];
+    out[i] = decisions_of(digest23(p, kIdSeed), mode);
+  }
+}
+
+}  // namespace vpm::net::detail

@@ -1,0 +1,110 @@
+// Batch digest kernels behind the SIMD dispatch shim (net/simd_dispatch).
+//
+// The data-plane batch loop digests packets in chunks; for the default
+// header spec the digest is a FIXED 23-byte lookup3 message, so eight
+// packets can run the mix/final_mix lattice in parallel as 8 lanes of
+// 32-bit adds/xors/rotates (AVX2).  This header holds everything both
+// implementations share — the role seeds, the seeded avalanche finalizer,
+// and the scalar 23-byte digest (the single source of truth the scalar
+// engine path, the scalar batch kernel and the AVX2 tail all call) — plus
+// the kernel function-pointer types the dispatcher binds at startup.
+//
+// Byte-identity is the contract: every kernel must produce exactly
+// bob_hash() over the serialized default-spec layout (pinned by the
+// digest tests and tests/simd_dispatch_test.cpp).
+#ifndef VPM_NET_DIGEST_BATCH_HPP
+#define VPM_NET_DIGEST_BATCH_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/bob_hash.hpp"
+#include "net/digest.hpp"
+#include "net/packet.hpp"
+
+namespace vpm::net::detail {
+
+// Role seeds: arbitrary distinct constants fixed at protocol design time
+// (system-wide, like the marker threshold mu in Section 5.1).
+inline constexpr std::uint32_t kIdSeed = 0x56504d31u;      // "VPM1"
+inline constexpr std::uint32_t kMarkerSeed = 0x4d41524bu;  // "MARK"
+inline constexpr std::uint32_t kCutSeed = 0x43555421u;     // "CUT!"
+inline constexpr std::uint32_t kSampleSeed = 0x53414d50u;  // "SAMP"
+
+// Seeded avalanche finalizer: a 32-bit bijection per seed (xor, then
+// multiply by an odd constant, then fold the high bits down), so role
+// values stay uniform whenever the base digest is.  This is how
+// kIndependent derives marker/cut values from the single per-packet hash
+// instead of re-hashing the full header.  One multiply (vs murmur3's
+// two-multiply fmix32) keeps the §7.1 per-packet budget at "one hash plus
+// a few cycles"; the marker/cut decisions only compare against a
+// threshold, for which the multiplicative scramble of the high bits is
+// ample.
+constexpr std::uint32_t role_mix(std::uint32_t x, std::uint32_t seed) noexcept {
+  x = (x ^ seed) * 0x9E3779B1u;  // odd multiplier: bijective mod 2^32
+  x ^= x >> 16;
+  return x;
+}
+
+/// The default-spec digest: all header fields but length, 23 bytes,
+/// streamed into the lookup3 state as assembled little-endian words
+/// (output-identical to bob_hash over the serialized layout; see
+/// DigestEngine::hash_fields for the buffer path it mirrors).
+inline std::uint32_t digest23(const Packet& p, std::uint32_t seed) noexcept {
+  const PacketHeader& h = p.header;
+  std::uint32_t a = lookup3::init(23, seed);
+  std::uint32_t b = a;
+  std::uint32_t c = a;
+  // Bytes 0..11: src, dst, src_port | dst_port.
+  a += h.src.value();
+  b += h.dst.value();
+  c += static_cast<std::uint32_t>(h.src_port) |
+       (static_cast<std::uint32_t>(h.dst_port) << 16);
+  lookup3::mix(a, b, c);
+  // Tail bytes 12..22: protocol, ip_id, payload_prefix.
+  a += static_cast<std::uint32_t>(h.protocol) |
+       (static_cast<std::uint32_t>(h.ip_id) << 8) |
+       (static_cast<std::uint32_t>(p.payload_prefix & 0xFFu) << 24);
+  b += static_cast<std::uint32_t>((p.payload_prefix >> 8) & 0xFFFFFFFFu);
+  c += static_cast<std::uint32_t>((p.payload_prefix >> 40) & 0xFFFFFFu);
+  lookup3::final_mix(a, b, c);
+  return c;
+}
+
+/// Derive all role values from a base digest under `mode` (the one
+/// definition decide(), the scalar batch path and the AVX2 tail share).
+inline PacketDecisions decisions_of(std::uint32_t base,
+                                    DigestMode mode) noexcept {
+  if (mode == DigestMode::kSingle) {
+    return PacketDecisions{.id = base, .marker_value = base, .cut_value = base};
+  }
+  return PacketDecisions{.id = base,
+                         .marker_value = role_mix(base, kMarkerSeed),
+                         .cut_value = role_mix(base, kCutSeed)};
+}
+
+/// Batch kernel: decisions for default-spec packets pkts[idx[i]]
+/// (idx == nullptr means pkts[i]), i in [0, n).  The idx indirection lets
+/// the monitoring cache digest only the packets that classified to a
+/// known path without compacting 48-byte Packet structs first.
+using DecideBatchFn = void (*)(const Packet* pkts, const std::uint32_t* idx,
+                               std::size_t n, DigestMode mode,
+                               PacketDecisions* out);
+
+/// Portable scalar kernel (always available; the dispatch fallback).
+void decide_batch_scalar(const Packet* pkts, const std::uint32_t* idx,
+                         std::size_t n, DigestMode mode,
+                         PacketDecisions* out) noexcept;
+
+/// The AVX2 kernel, or nullptr when the AVX2 translation unit was built
+/// without -mavx2 (non-x86 target or unsupported compiler).  Callers must
+/// additionally check simd::active_tier() before invoking.
+[[nodiscard]] DecideBatchFn decide_batch_avx2() noexcept;
+
+/// True when the AVX2 translation units were compiled with -mavx2 (the
+/// simd_dispatch detection clamps to scalar otherwise).
+[[nodiscard]] bool avx2_kernels_compiled() noexcept;
+
+}  // namespace vpm::net::detail
+
+#endif  // VPM_NET_DIGEST_BATCH_HPP

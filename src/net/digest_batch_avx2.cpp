@@ -1,0 +1,219 @@
+// AVX2 implementation of the batch digest kernel: eight packets per
+// iteration, one lookup3 lane each.
+//
+// lookup3 over the default-spec 23-byte message is a fixed lattice of
+// 32-bit adds/subs/xors/rotates on a three-word state — no data-dependent
+// control flow — so eight packets map onto the eight 32-bit lanes of a ymm
+// register directly: three registers hold (a, b, c) for eight packets and
+// the scalar mix()/final_mix() schedules transliterate one-to-one into
+// vector ops (rotate = shift-left | shift-right-complement).  The only
+// scalar work left is gathering the six input words per packet out of the
+// 48-byte Packet structs into stack SoA staging; the hash itself runs at
+// one-eighth the scalar op count.
+//
+// This file is compiled with -mavx2 (see CMakeLists); everything is inside
+// an __AVX2__ guard with null stubs otherwise, so the TU is always listed
+// in the build and the dispatcher discovers availability at runtime via
+// avx2_kernels_compiled().  Nothing here may be called unless
+// simd::active_tier() == kAvx2.
+#include "net/digest_batch.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace vpm::net::detail {
+namespace {
+
+// The input stage loads each packet's first 32 bytes as one ymm row and
+// transposes 8 rows in-register (scalar staging stores would defeat
+// store-to-load forwarding: eight 4-byte stores cannot forward into one
+// 32-byte load).  That ties the kernel to the exact field offsets below;
+// a Packet layout change must update the word extraction to match.
+static_assert(sizeof(Packet) >= 32, "row loads read 32 bytes per packet");
+static_assert(offsetof(Packet, header) == 0);
+static_assert(offsetof(PacketHeader, src) == 0);
+static_assert(offsetof(PacketHeader, dst) == 4);
+static_assert(offsetof(PacketHeader, src_port) == 8);
+static_assert(offsetof(PacketHeader, dst_port) == 10);
+static_assert(offsetof(PacketHeader, ip_id) == 12);
+static_assert(offsetof(PacketHeader, protocol) == 16);
+static_assert(offsetof(Packet, payload_prefix) == 24);
+
+inline __m256i rot8(__m256i x, int k) noexcept {
+  return _mm256_or_si256(_mm256_slli_epi32(x, k),
+                         _mm256_srli_epi32(x, 32 - k));
+}
+
+// lookup3 mix() — same schedule as lookup3::mix, eight lanes wide.
+inline void mix8(__m256i& a, __m256i& b, __m256i& c) noexcept {
+  a = _mm256_sub_epi32(a, c);
+  a = _mm256_xor_si256(a, rot8(c, 4));
+  c = _mm256_add_epi32(c, b);
+  b = _mm256_sub_epi32(b, a);
+  b = _mm256_xor_si256(b, rot8(a, 6));
+  a = _mm256_add_epi32(a, c);
+  c = _mm256_sub_epi32(c, b);
+  c = _mm256_xor_si256(c, rot8(b, 8));
+  b = _mm256_add_epi32(b, a);
+  a = _mm256_sub_epi32(a, c);
+  a = _mm256_xor_si256(a, rot8(c, 16));
+  c = _mm256_add_epi32(c, b);
+  b = _mm256_sub_epi32(b, a);
+  b = _mm256_xor_si256(b, rot8(a, 19));
+  a = _mm256_add_epi32(a, c);
+  c = _mm256_sub_epi32(c, b);
+  c = _mm256_xor_si256(c, rot8(b, 4));
+  b = _mm256_add_epi32(b, a);
+}
+
+// lookup3 final() — same schedule as lookup3::final_mix, eight lanes wide.
+inline void final_mix8(__m256i& a, __m256i& b, __m256i& c) noexcept {
+  c = _mm256_xor_si256(c, b);
+  c = _mm256_sub_epi32(c, rot8(b, 14));
+  a = _mm256_xor_si256(a, c);
+  a = _mm256_sub_epi32(a, rot8(c, 11));
+  b = _mm256_xor_si256(b, a);
+  b = _mm256_sub_epi32(b, rot8(a, 25));
+  c = _mm256_xor_si256(c, b);
+  c = _mm256_sub_epi32(c, rot8(b, 16));
+  a = _mm256_xor_si256(a, c);
+  a = _mm256_sub_epi32(a, rot8(c, 4));
+  b = _mm256_xor_si256(b, a);
+  b = _mm256_sub_epi32(b, rot8(a, 14));
+  c = _mm256_xor_si256(c, b);
+  c = _mm256_sub_epi32(c, rot8(b, 24));
+}
+
+// role_mix(), eight lanes wide: (x ^ seed) * 0x9E3779B1; x ^= x >> 16.
+inline __m256i role_mix8(__m256i x, std::uint32_t seed) noexcept {
+  x = _mm256_xor_si256(x, _mm256_set1_epi32(static_cast<int>(seed)));
+  x = _mm256_mullo_epi32(x, _mm256_set1_epi32(static_cast<int>(0x9E3779B1u)));
+  return _mm256_xor_si256(x, _mm256_srli_epi32(x, 16));
+}
+
+void decide_batch_avx2_impl(const Packet* pkts, const std::uint32_t* idx,
+                            std::size_t n, DigestMode mode,
+                            PacketDecisions* out) noexcept {
+  const __m256i init = _mm256_set1_epi32(
+      static_cast<int>(lookup3::init(23, kIdSeed)));
+
+  std::size_t g = 0;
+  for (; g + 8 <= n; g += 8) {
+    // Row loads: r[l] = dwords 0..7 of packet l (src, dst, ports,
+    // ip_id|len, proto|tos|pad, pad, pp_lo, pp_hi).
+    __m256i r0, r1, r2, r3, r4, r5, r6, r7;
+    {
+      auto row = [&](int l) {
+        const Packet* p = &pkts[idx != nullptr ? idx[g + l] : g + l];
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+      };
+      r0 = row(0);
+      r1 = row(1);
+      r2 = row(2);
+      r3 = row(3);
+      r4 = row(4);
+      r5 = row(5);
+      r6 = row(6);
+      r7 = row(7);
+    }
+    // 8x8 dword transpose: d[w] = word w of packets 0..7.  (d5 — padding
+    // between header and payload_prefix — is never formed.)
+    const __m256i t0 = _mm256_unpacklo_epi32(r0, r1);
+    const __m256i t1 = _mm256_unpackhi_epi32(r0, r1);
+    const __m256i t2 = _mm256_unpacklo_epi32(r2, r3);
+    const __m256i t3 = _mm256_unpackhi_epi32(r2, r3);
+    const __m256i t4 = _mm256_unpacklo_epi32(r4, r5);
+    const __m256i t5 = _mm256_unpackhi_epi32(r4, r5);
+    const __m256i t6 = _mm256_unpacklo_epi32(r6, r7);
+    const __m256i t7 = _mm256_unpackhi_epi32(r6, r7);
+    const __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+    const __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+    const __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+    const __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+    const __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+    const __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+    const __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+    const __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+    const __m256i d0 = _mm256_permute2x128_si256(u0, u4, 0x20);  // src
+    const __m256i d1 = _mm256_permute2x128_si256(u1, u5, 0x20);  // dst
+    const __m256i d2 = _mm256_permute2x128_si256(u2, u6, 0x20);  // ports
+    const __m256i d3 = _mm256_permute2x128_si256(u3, u7, 0x20);  // ipid|len
+    const __m256i d4 = _mm256_permute2x128_si256(u0, u4, 0x31);  // proto|tos
+    const __m256i d6 = _mm256_permute2x128_si256(u2, u6, 0x31);  // pp 0..3
+    const __m256i d7 = _mm256_permute2x128_si256(u3, u7, 0x31);  // pp 4..7
+
+    // Message words (exactly what DigestEngine::hash_fields streams):
+    //   w3 = proto | ip_id<<8 | pp[0]<<24,  w4 = pp bytes 1..4,
+    //   w5 = pp bytes 5..7.
+    const __m256i ff = _mm256_set1_epi32(0xFF);
+    const __m256i w3 = _mm256_or_si256(
+        _mm256_and_si256(d4, ff),
+        _mm256_or_si256(
+            _mm256_slli_epi32(_mm256_and_si256(d3, _mm256_set1_epi32(0xFFFF)),
+                              8),
+            _mm256_slli_epi32(_mm256_and_si256(d6, ff), 24)));
+    const __m256i w4 = _mm256_or_si256(
+        _mm256_srli_epi32(d6, 8),
+        _mm256_slli_epi32(_mm256_and_si256(d7, ff), 24));
+    const __m256i w5 = _mm256_srli_epi32(d7, 8);
+
+    __m256i a = _mm256_add_epi32(init, d0);
+    __m256i b = _mm256_add_epi32(init, d1);
+    __m256i c = _mm256_add_epi32(init, d2);
+    mix8(a, b, c);
+    a = _mm256_add_epi32(a, w3);
+    b = _mm256_add_epi32(b, w4);
+    c = _mm256_add_epi32(c, w5);
+    final_mix8(a, b, c);
+    // c is the digest (base id) for all eight lanes.
+
+    alignas(32) std::uint32_t id[8];
+    alignas(32) std::uint32_t mk[8];
+    alignas(32) std::uint32_t ct[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(id), c);
+    if (mode == DigestMode::kSingle) {
+      for (int l = 0; l < 8; ++l) {
+        out[g + l] = PacketDecisions{
+            .id = id[l], .marker_value = id[l], .cut_value = id[l]};
+      }
+    } else {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(mk),
+                         role_mix8(c, kMarkerSeed));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(ct),
+                         role_mix8(c, kCutSeed));
+      for (int l = 0; l < 8; ++l) {
+        out[g + l] = PacketDecisions{
+            .id = id[l], .marker_value = mk[l], .cut_value = ct[l]};
+      }
+    }
+  }
+
+  // Remainder lanes (n % 8): the shared scalar digest.
+  for (; g < n; ++g) {
+    const Packet& p = pkts[idx != nullptr ? idx[g] : g];
+    out[g] = decisions_of(digest23(p, kIdSeed), mode);
+  }
+}
+
+}  // namespace
+
+DecideBatchFn decide_batch_avx2() noexcept { return &decide_batch_avx2_impl; }
+
+bool avx2_kernels_compiled() noexcept { return true; }
+
+}  // namespace vpm::net::detail
+
+#else  // !defined(__AVX2__)
+
+namespace vpm::net::detail {
+
+DecideBatchFn decide_batch_avx2() noexcept { return nullptr; }
+
+bool avx2_kernels_compiled() noexcept { return false; }
+
+}  // namespace vpm::net::detail
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,74 @@
+#include "net/simd_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/digest_batch.hpp"
+
+namespace vpm::net::simd {
+namespace {
+
+Tier detect() noexcept {
+  // The AVX2 TUs report whether they were built with -mavx2 (see
+  // digest_batch_avx2.cpp); a binary without them clamps to scalar.
+  if (!detail::avx2_kernels_compiled()) return Tier::kScalar;
+#if defined(__x86_64__) || defined(_M_X64)
+  // __builtin_cpu_supports folds in the xgetbv OS-support check, so a
+  // kernel that does not save YMM state reports "no avx2" here.
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+#endif
+  return Tier::kScalar;
+}
+
+Tier env_tier(Tier detected) noexcept {
+  const char* v = std::getenv("VPM_SIMD");
+  if (v == nullptr || std::strcmp(v, "auto") == 0) return detected;
+  if (std::strcmp(v, "scalar") == 0) return Tier::kScalar;
+  // "avx2" (or anything else): never exceed what the host supports.
+  return detected;
+}
+
+// -1 == no override; otherwise the forced tier.  Relaxed atomics: the
+// selection is a hint read on the hot path, and tests that force a tier
+// do so from the thread that then runs the kernels.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+Tier detected_tier() noexcept {
+  static const Tier t = detect();
+  return t;
+}
+
+Tier active_tier() noexcept {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    const Tier t = static_cast<Tier>(forced);
+    return t == Tier::kAvx2 ? detected_tier() : t;
+  }
+  static const Tier from_env = env_tier(detected_tier());
+  return from_env;
+}
+
+bool avx2_compiled() noexcept { return detail::avx2_kernels_compiled(); }
+
+void force_tier(Tier t) noexcept {
+  g_forced.store(static_cast<int>(t), std::memory_order_relaxed);
+}
+
+void clear_forced_tier() noexcept {
+  g_forced.store(-1, std::memory_order_relaxed);
+}
+
+const char* tier_name(Tier t) noexcept {
+  switch (t) {
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+}  // namespace vpm::net::simd

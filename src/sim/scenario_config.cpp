@@ -135,6 +135,9 @@ std::string ScenarioConfig::to_string() const {
   if (marker_rate != def.marker_rate) {
     put("marker_rate", fmt_double(marker_rate));
   }
+  if (marker_max_age != def.marker_max_age) {
+    put("marker_max_age_us", std::to_string(to_us(marker_max_age)));
+  }
   if (tuning.sample_rate != def.tuning.sample_rate) {
     put("sample_rate", fmt_double(tuning.sample_rate));
   }
@@ -265,6 +268,8 @@ ScenarioConfig parse_scenario(std::string_view text) {
       }
     } else if (key == "marker_rate") {
       cfg.marker_rate = parse_double(token, value);
+    } else if (key == "marker_max_age_us") {
+      cfg.marker_max_age = parse_us(token, value);
     } else if (key == "sample_rate") {
       cfg.tuning.sample_rate = parse_double(token, value);
     } else if (key == "cut_rate") {

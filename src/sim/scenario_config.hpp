@@ -94,6 +94,9 @@ struct ScenarioConfig {
   // Collector shape.
   net::DigestMode digest_mode = net::DigestMode::kIndependent;
   double marker_rate = 1.0 / 64.0;
+  /// Time-keyed marker rule (`marker_max_age_us`; 0 = off).  See
+  /// core::ProtocolParams::marker_max_age.
+  net::Duration marker_max_age{0};
   core::HopTuning tuning{.sample_rate = 0.05, .cut_rate = 2e-3};
   std::size_t shards = 1;
   net::Duration max_diff = net::milliseconds(5);

@@ -335,6 +335,7 @@ ScenarioOutcome run_scenario(const ScenarioConfig& cfg) {
     collector::MonitoringCache::Config c;
     c.protocol.digest_mode = cfg.digest_mode;
     c.protocol.marker_rate = cfg.marker_rate;
+    c.protocol.marker_max_age = cfg.marker_max_age;
     c.tuning = cfg.tuning;
     c.self = out.layout.hops[pos];
     c.previous_hop = pos == 0 ? net::kNoHop : out.layout.hops[pos - 1];
