@@ -6,9 +6,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "core/hop_monitor.hpp"
@@ -28,6 +33,33 @@ namespace vpm::bench {
   p.reorder_window_j = net::milliseconds(10);
   return p;
 }
+
+/// RAII scratch directory for benches that hit real files (segment-store
+/// measurements).  Shares the `vpm-test-` prefix with the test suite's
+/// TempDir so the CI tmpdir-hygiene step catches benches that litter too.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    static std::atomic<unsigned> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            ("vpm-test-" + tag + "-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter.fetch_add(1)));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort; never throws
+  }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
+ private:
+  std::filesystem::path path_;
+};
 
 /// The §7.2 methodology in one object: a packet sequence, the congestion
 /// delay series it would see inside domain X, and the loss model X applies.

@@ -1,0 +1,168 @@
+// Disk-path costs of the dissemination segment store (ISSUE 9).
+//
+//   * BM_SegmentAppend — steady-state producer churn: append a batch of
+//     sealed envelopes, then GC it (erase_through frees whole segment
+//     files), so the directory stays bounded and the number includes the
+//     roll/seal/unlink cycle a long-running store actually pays.
+//   * BM_SegmentReplay — crash-restart cost: re-open a populated
+//     directory (recovery scan CRC-checks every record) and walk every
+//     retained payload, the work a store does before serving after a
+//     crash.
+//   * BM_ConcurrentFetch/{1,4,16} — consumer-side contention on one
+//     FederatedStore (4 shards, disk segments): N consumer threads each
+//     walk every producer's retained stream through the locked fetch
+//     API.  Throughput holds only while reads of different shards don't
+//     serialize; items are envelopes fetched across all consumers.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dissem/envelope.hpp"
+#include "dissem/federated_store.hpp"
+#include "dissem/segment_store.hpp"
+#include "experiment.hpp"
+
+namespace {
+
+using namespace vpm;
+
+constexpr dissem::DomainKey kKey = 0xBE7C4;
+constexpr std::size_t kPayloadBytes = 256;  // a typical receipt chunk
+
+dissem::Envelope make_env(dissem::DomainId producer, std::uint64_t seq) {
+  std::vector<std::byte> payload(kPayloadBytes);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>((seq + i) & 0xFF);
+  }
+  return dissem::seal(producer, seq, std::move(payload), kKey);
+}
+
+// One iteration = append kBatch envelopes, then erase them (whole-file
+// unlink at the floor): the steady-state cycle of a producer whose
+// consumers keep up.  Items are appended envelopes.
+void BM_SegmentAppend(benchmark::State& state) {
+  constexpr std::size_t kBatch = 2048;
+  bench::ScratchDir scratch("bench-seg-append");
+  dissem::SegmentStoreConfig cfg;
+  cfg.directory = scratch.path();
+  cfg.max_segment_bytes = 64 * 1024;
+  dissem::SegmentStore store(cfg);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) store.append(make_env(1, ++seq));
+    store.erase_through(1, seq);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kBatch));
+  state.counters["segment_kb"] =
+      static_cast<double>(cfg.max_segment_bytes) / 1e3;
+}
+BENCHMARK(BM_SegmentAppend)->Unit(benchmark::kMillisecond);
+
+// One iteration = open a populated directory (recovery scan: length and
+// CRC of every record re-checked) and visit every retained payload.
+// Items are replayed envelopes.
+void BM_SegmentReplay(benchmark::State& state) {
+  constexpr std::size_t kRecords = 16 * 1024;
+  bench::ScratchDir scratch("bench-seg-replay");
+  dissem::SegmentStoreConfig cfg;
+  cfg.directory = scratch.path();
+  cfg.max_segment_bytes = 64 * 1024;
+  {
+    dissem::SegmentStore seed_store(cfg);
+    for (std::uint64_t s = 1; s <= kRecords; ++s) {
+      seed_store.append(make_env(1, s));
+    }
+  }
+  std::size_t visited = 0;
+  for (auto _ : state) {
+    dissem::SegmentStore store(cfg);  // recovery-on-open
+    store.visit_after(1, 0,
+                      [&visited](std::uint64_t, std::span<const std::byte>) {
+                        ++visited;
+                      });
+  }
+  if (visited != state.iterations() * kRecords) {
+    state.SkipWithError("replay lost records");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(visited));
+}
+BENCHMARK(BM_SegmentReplay)->Unit(benchmark::kMillisecond);
+
+// N consumers, each walking every producer's full retained stream through
+// the locked fetch API of a 4-shard disk-backed FederatedStore.
+void BM_ConcurrentFetch(benchmark::State& state) {
+  constexpr std::size_t kProducers = 8;
+  constexpr std::uint64_t kSeqs = 1024;
+  const std::size_t consumers = static_cast<std::size_t>(state.range(0));
+
+  bench::ScratchDir scratch("bench-seg-fetch");
+  dissem::FederatedStoreConfig cfg;
+  cfg.shards = 4;
+  cfg.directory = scratch.path();
+  cfg.max_segment_bytes = 64 * 1024;
+  dissem::FederatedStore fed(cfg);
+  for (std::size_t p = 1; p <= kProducers; ++p) {
+    fed.register_producer(static_cast<dissem::DomainId>(p), kKey);
+    for (std::uint64_t s = 1; s <= kSeqs; ++s) {
+      fed.ingest(make_env(static_cast<dissem::DomainId>(p), s));
+    }
+  }
+  // Registered but never acking: cursors stay at 0 (every walk reads the
+  // full stream) and nothing is garbage-collected mid-bench.
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < consumers; ++c) {
+    names.push_back("bench-c" + std::to_string(c));
+    fed.register_consumer(names.back());
+  }
+
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    workers.reserve(consumers);
+    std::atomic<std::size_t> fetched{0};
+    for (std::size_t c = 0; c < consumers; ++c) {
+      workers.emplace_back([&fed, &names, &fetched, c] {
+        std::size_t seen = 0;
+        std::size_t bytes = 0;
+        for (std::size_t p = 1; p <= kProducers; ++p) {
+          fed.fetch_from(names[c], static_cast<dissem::DomainId>(p),
+                         [&seen, &bytes](std::uint64_t,
+                                         std::span<const std::byte> payload) {
+                           ++seen;
+                           bytes += payload.size();
+                         });
+        }
+        benchmark::DoNotOptimize(bytes);
+        fetched.fetch_add(seen, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    if (fetched.load() != consumers * kProducers * kSeqs) {
+      state.SkipWithError("fetch lost envelopes");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * consumers * kProducers * kSeqs));
+  state.counters["consumers"] = static_cast<double>(consumers);
+}
+BENCHMARK(BM_ConcurrentFetch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return vpm::bench::run_benchmarks_with_json(argc, argv, "dissem",
+                                              "BENCH_dissem.json");
+}

@@ -1,0 +1,181 @@
+#include "dissem/federated_store.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace vpm::dissem {
+
+FederatedStore::FederatedStore(FederatedStoreConfig cfg) {
+  if (cfg.shards == 0) {
+    throw std::invalid_argument("FederatedStore: shards must be >= 1");
+  }
+  const bool durable = !cfg.directory.empty();
+  if (durable) {
+    std::filesystem::create_directories(cfg.directory);
+    // Routing is by hash mod shard count: reopening with a different
+    // count would silently strand every producer's history on its old
+    // shard.  Refuse instead (resharding-by-copy is a recorded follow-on).
+    const std::filesystem::path meta = cfg.directory / "shards.meta";
+    if (std::filesystem::exists(meta)) {
+      std::ifstream in(meta);
+      std::size_t recorded = 0;
+      if (!(in >> recorded) || recorded != cfg.shards) {
+        throw std::runtime_error(
+            "FederatedStore: directory was written with " +
+            std::to_string(recorded) + " shards, reopened with " +
+            std::to_string(cfg.shards));
+      }
+    } else {
+      std::ofstream out(meta);
+      out << cfg.shards << "\n";
+      if (!out) {
+        throw std::runtime_error("FederatedStore: cannot write " +
+                                 meta.string());
+      }
+    }
+  }
+  shards_.reserve(cfg.shards);
+  for (std::size_t i = 0; i < cfg.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    if (durable) {
+      SegmentStoreConfig seg;
+      seg.directory = cfg.directory / ("shard-" + std::to_string(i));
+      seg.max_segment_bytes = cfg.max_segment_bytes;
+      seg.cursor_snapshot_every = cfg.cursor_snapshot_every;
+      shard->store =
+          std::make_unique<ReceiptStore>(make_segment_storage(std::move(seg)));
+    } else {
+      shard->store = std::make_unique<ReceiptStore>();
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void FederatedStore::register_producer(DomainId producer, DomainKey key) {
+  Shard& s = owner(producer);
+  const std::scoped_lock lock(s.mu);
+  s.store->register_producer(producer, key);
+}
+
+void FederatedStore::register_consumer(const std::string& name) {
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mu);
+    shard->store->register_consumer(name);
+  }
+}
+
+void FederatedStore::subscribe(const std::string& name, DomainId producer) {
+  Shard& s = owner(producer);
+  const std::scoped_lock lock(s.mu);
+  s.store->subscribe(name, producer);
+}
+
+IngestOutcome FederatedStore::ingest(Envelope envelope) {
+  Shard& s = owner(envelope.producer);
+  const std::scoped_lock lock(s.mu);
+  return s.store->ingest(std::move(envelope));
+}
+
+void FederatedStore::fetch_from(
+    const std::string& consumer, DomainId producer,
+    core::FunctionRef<void(std::uint64_t, std::span<const std::byte>)> visit)
+    const {
+  Shard& s = owner(producer);
+  // Recursive: the visitor may ack() mid-walk, re-entering this shard.
+  const std::scoped_lock lock(s.mu);
+  s.store->fetch_from(consumer, producer, visit);
+}
+
+AckOutcome FederatedStore::ack(const std::string& consumer,
+                               DomainId producer, std::uint64_t sequence) {
+  Shard& s = owner(producer);
+  const std::scoped_lock lock(s.mu);
+  return s.store->ack(consumer, producer, sequence);
+}
+
+std::uint64_t FederatedStore::cursor(const std::string& consumer,
+                                     DomainId producer) const {
+  Shard& s = owner(producer);
+  const std::scoped_lock lock(s.mu);
+  return s.store->cursor(consumer, producer);
+}
+
+std::uint64_t FederatedStore::gc_floor(DomainId producer) const {
+  Shard& s = owner(producer);
+  const std::scoped_lock lock(s.mu);
+  return s.store->gc_floor(producer);
+}
+
+std::size_t FederatedStore::consumer_lag(const std::string& consumer,
+                                         DomainId producer) const {
+  Shard& s = owner(producer);
+  const std::scoped_lock lock(s.mu);
+  return s.store->consumer_lag(consumer, producer);
+}
+
+std::uint64_t FederatedStore::last_sequence(DomainId producer) const {
+  Shard& s = owner(producer);
+  const std::scoped_lock lock(s.mu);
+  return s.store->last_sequence(producer);
+}
+
+StorageStats FederatedStore::producer_storage_stats(DomainId producer) const {
+  Shard& s = owner(producer);
+  const std::scoped_lock lock(s.mu);
+  return s.store->producer_storage_stats(producer);
+}
+
+StorageStats FederatedStore::storage_stats() const {
+  StorageStats out;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mu);
+    const StorageStats s = shard->store->storage_stats();
+    out.envelopes += s.envelopes;
+    out.payload_bytes += s.payload_bytes;
+    out.erased += s.erased;
+    out.segments_live += s.segments_live;
+    out.segments_unlinked += s.segments_unlinked;
+    out.bytes_on_disk += s.bytes_on_disk;
+  }
+  return out;
+}
+
+std::size_t FederatedStore::accepted_count() const {
+  std::size_t out = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mu);
+    out += shard->store->accepted_count();
+  }
+  return out;
+}
+
+std::size_t FederatedStore::rejected_count() const {
+  std::size_t out = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mu);
+    out += shard->store->rejected_count();
+  }
+  return out;
+}
+
+std::size_t FederatedStore::stored_envelopes() const {
+  std::size_t out = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mu);
+    out += shard->store->stored_envelopes();
+  }
+  return out;
+}
+
+std::size_t FederatedStore::gc_erased_count() const {
+  std::size_t out = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mu);
+    out += shard->store->gc_erased_count();
+  }
+  return out;
+}
+
+}  // namespace vpm::dissem

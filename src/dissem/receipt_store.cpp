@@ -1,8 +1,8 @@
 #include "dissem/receipt_store.hpp"
 
 #include <algorithm>
-#include <iterator>
 #include <stdexcept>
+#include <utility>
 
 namespace vpm::dissem {
 
@@ -38,6 +38,45 @@ const char* to_string(AckResult r) {
   return "unknown";
 }
 
+ReceiptStore::ReceiptStore() : ReceiptStore(make_memory_storage()) {}
+
+ReceiptStore::ReceiptStore(std::unique_ptr<EnvelopeStorage> storage)
+    : storage_(std::move(storage)) {
+  RecoveredState recovered = storage_->recover();
+  for (auto& consumer : recovered.consumers) {
+    Consumer& slot = cursors_[consumer.name];
+    slot.all_producers = slot.all_producers || consumer.all_producers;
+    for (const DomainId producer : consumer.subscribed) {
+      slot.subscribed.insert(producer);
+    }
+    for (const auto& [producer, sequence] : consumer.acked) {
+      auto& cur = slot.acked[producer];
+      cur = std::max(cur, sequence);
+      auto& last = last_sequence_[producer];
+      last = std::max(last, sequence);
+    }
+  }
+  // The head is the max of retained envelopes and acknowledgements: a
+  // fully-acked producer can have zero retained envelopes (all collected
+  // before the crash) yet its sequence stream must resume above the acks,
+  // and collection never erases above the minimum ack, so the max ack
+  // bounds everything ever erased.
+  for (const auto& [producer, head] : recovered.producer_heads) {
+    auto& last = last_sequence_[producer];
+    last = std::max(last, head);
+  }
+  // Recompute every GC floor from the recovered acknowledgements.  Every
+  // gating consumer has a persisted ack at or above where it came in
+  // (subscribe/register baseline the floor as an initial ack), so the
+  // gating minimum — and with it the recomputed floor — equals the
+  // pre-crash floor; this also unlinks segments whose full ack predated
+  // the crash but whose unlink didn't survive it.
+  for (const auto& [producer, last] : last_sequence_) {
+    (void)last;
+    collect_garbage(producer);
+  }
+}
+
 void ReceiptStore::register_producer(DomainId producer, DomainKey key) {
   keys_[producer] = key;
 }
@@ -67,25 +106,22 @@ IngestOutcome ReceiptStore::ingest(Envelope envelope) {
   // at-or-below-floor sequence.  The floor test is the replay/rollback
   // rejection over an out-of-order transport: collection only erases
   // sequences <= floor, so anything above the floor that is absent from
-  // stored_ was genuinely never accepted (a reordered fresh envelope),
-  // while a replayed collected envelope lands at or below the floor.
+  // the backend was genuinely never accepted (a reordered fresh
+  // envelope), while a replayed collected envelope lands at or below the
+  // floor.
   if (envelope.sequence <= floor) {
     ++rejected_;
     out.result = IngestResult::kStaleSequence;
     return out;
   }
-  auto& retained = stored_[envelope.producer];
-  if (retained.contains(envelope.sequence)) {
+  if (storage_->contains(envelope.producer, envelope.sequence)) {
     ++rejected_;
     out.result = IngestResult::kDuplicate;
     return out;
   }
   auto& last = last_sequence_[envelope.producer];
   last = std::max(last, envelope.sequence);
-  const std::uint64_t sequence = envelope.sequence;
-  stored_payload_bytes_ += envelope.payload.size();
-  ++stored_envelopes_;
-  retained.emplace(sequence, std::move(envelope));
+  storage_->put(std::move(envelope));
   ++accepted_;
   out.result = IngestResult::kAccepted;
   return out;
@@ -94,37 +130,66 @@ IngestOutcome ReceiptStore::ingest(Envelope envelope) {
 std::vector<std::vector<std::byte>> ReceiptStore::payloads_from(
     DomainId producer) const {
   std::vector<std::vector<std::byte>> out;
-  const auto it = stored_.find(producer);
-  if (it == stored_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [seq, env] : it->second) {
-    out.emplace_back(env.payload);
-  }
+  storage_->visit_after(
+      producer, 0,
+      [&out](std::uint64_t, std::span<const std::byte> payload) {
+        out.emplace_back(payload.begin(), payload.end());
+      });
   return out;
 }
 
 void ReceiptStore::for_each_payload(
     DomainId producer,
     core::FunctionRef<void(std::span<const std::byte>)> visit) const {
-  const auto it = stored_.find(producer);
-  if (it == stored_.end()) return;
-  for (const auto& [seq, env] : it->second) {
-    visit(env.payload);
-  }
+  storage_->visit_after(
+      producer, 0,
+      [&visit](std::uint64_t, std::span<const std::byte> payload) {
+        visit(payload);
+      });
 }
 
 void ReceiptStore::register_consumer(const std::string& name) {
-  cursors_.try_emplace(name);
+  Consumer& slot = cursors_[name];
+  slot.all_producers = true;
+  storage_->persist_registration(name, true);
+  for (const auto& [producer, floor] : gc_floor_) {
+    baseline_at_floor(slot, name, producer, floor);
+  }
 }
 
-std::uint64_t ReceiptStore::effective_cursor(
-    const std::unordered_map<DomainId, std::uint64_t>& acked,
-    DomainId producer) const {
+void ReceiptStore::subscribe(const std::string& name, DomainId producer) {
+  Consumer& slot = cursors_[name];
+  if (slot.all_producers) return;  // already gates everything
+  slot.subscribed.insert(producer);
+  storage_->persist_subscription(name, producer);
+  const auto floor_it = gc_floor_.find(producer);
+  if (floor_it != gc_floor_.end()) {
+    baseline_at_floor(slot, name, producer, floor_it->second);
+  }
+}
+
+void ReceiptStore::baseline_at_floor(Consumer& slot, const std::string& name,
+                                     DomainId producer, std::uint64_t floor) {
+  // A consumer that starts gating a producer mid-stream begins at the
+  // producer's current GC floor — it can never fetch below it — and that
+  // baseline must be DURABLE: recovery recomputes floors from persisted
+  // acknowledgements alone, so an ack-less late subscriber would
+  // otherwise rewind the recovered floor to zero, un-collecting
+  // sequences it never owned and re-serving them after a crash.
+  auto& cur = slot.acked[producer];
+  if (floor > cur) {
+    cur = floor;
+    storage_->persist_ack(name, producer, floor);
+  }
+}
+
+std::uint64_t ReceiptStore::effective_cursor(const Consumer& consumer,
+                                             DomainId producer) const {
   std::uint64_t cur = 0;
   const auto floor_it = gc_floor_.find(producer);
   if (floor_it != gc_floor_.end()) cur = floor_it->second;
-  const auto ack_it = acked.find(producer);
-  if (ack_it != acked.end()) cur = std::max(cur, ack_it->second);
+  const auto ack_it = consumer.acked.find(producer);
+  if (ack_it != consumer.acked.end()) cur = std::max(cur, ack_it->second);
   return cur;
 }
 
@@ -137,25 +202,8 @@ void ReceiptStore::fetch_from(
     throw std::invalid_argument("ReceiptStore: unregistered consumer \"" +
                                 consumer + "\"");
   }
-  const auto it = stored_.find(producer);
-  if (it == stored_.end()) return;
-  // A reference, not the iterator: `visit` may ingest (rehashing stored_
-  // invalidates unordered_map iterators) — the mapped std::map itself is
-  // stable.
-  auto& envs = it->second;
   const std::uint64_t cur = effective_cursor(cons_it->second, producer);
-  // Resume strictly after the cursor, re-finding the successor BY KEY
-  // after every visit: a cursor consumer legitimately acks at round
-  // boundaries mid-walk, and the ack's garbage collection erases the map
-  // node the walk just visited — incrementing that iterator would walk a
-  // freed Rb-tree node (release-build segfault; ASan misses it because
-  // the increment runs inside uninstrumented libstdc++).
-  auto env_it = envs.upper_bound(cur);
-  while (env_it != envs.end()) {
-    const std::uint64_t seq = env_it->first;
-    visit(seq, env_it->second.payload);
-    env_it = envs.upper_bound(seq);
-  }
+  storage_->visit_after(producer, cur, visit);
 }
 
 AckOutcome ReceiptStore::ack(const std::string& consumer, DomainId producer,
@@ -186,12 +234,16 @@ AckOutcome ReceiptStore::ack(const std::string& consumer, DomainId producer,
     return out;
   }
   if (sequence > cur) {
-    cons_it->second[producer] = sequence;
+    cons_it->second.acked[producer] = sequence;
+    storage_->persist_ack(consumer, producer, sequence);
     collect_garbage(producer);
   }
   out.result = AckResult::kAcked;
-  out.expected_sequence =
-      effective_cursor(cons_it->second, producer);
+  const std::uint64_t after = effective_cursor(cons_it->second, producer);
+  out.expected_sequence = after;
+  // Lag AFTER collection: count against what the store still retains, not
+  // against envelopes this very ack just erased.
+  out.consumer_lag = storage_->count_after(producer, after);
   return out;
 }
 
@@ -217,32 +269,29 @@ std::size_t ReceiptStore::consumer_lag(const std::string& consumer,
     throw std::invalid_argument("ReceiptStore: unregistered consumer \"" +
                                 consumer + "\"");
   }
-  const auto it = stored_.find(producer);
-  if (it == stored_.end()) return 0;
-  const std::uint64_t cur = effective_cursor(cons_it->second, producer);
-  return static_cast<std::size_t>(
-      std::distance(it->second.upper_bound(cur), it->second.end()));
+  return storage_->count_after(producer,
+                               effective_cursor(cons_it->second, producer));
 }
 
 void ReceiptStore::collect_garbage(DomainId producer) {
-  if (cursors_.empty()) return;  // nobody registered: retain everything
+  // The floor is the minimum effective cursor over consumers that GATE
+  // this producer (all-producer registrants plus its subscribers).  With
+  // no gating consumer nothing is collected: an unsubscribed "tap"
+  // fetching this producer cannot cause data loss for a gating consumer
+  // that registers later, and the historical no-consumers-no-GC rule
+  // falls out as the zero-gating case.
   std::uint64_t floor = static_cast<std::uint64_t>(-1);
-  for (const auto& [name, acked] : cursors_) {
-    floor = std::min(floor, effective_cursor(acked, producer));
+  bool gated = false;
+  for (const auto& [name, consumer] : cursors_) {
+    if (!consumer.gates(producer)) continue;
+    gated = true;
+    floor = std::min(floor, effective_cursor(consumer, producer));
   }
+  if (!gated) return;
   auto& floor_slot = gc_floor_[producer];
   if (floor <= floor_slot) return;
   floor_slot = floor;
-  const auto it = stored_.find(producer);
-  if (it == stored_.end()) return;
-  auto& envs = it->second;
-  const auto end = envs.upper_bound(floor);
-  for (auto env_it = envs.begin(); env_it != end; ++env_it) {
-    stored_payload_bytes_ -= env_it->second.payload.size();
-    --stored_envelopes_;
-    ++gc_erased_;
-  }
-  envs.erase(envs.begin(), end);
+  storage_->erase_through(producer, floor);
 }
 
 }  // namespace vpm::dissem

@@ -1,0 +1,80 @@
+#include "dissem/storage.hpp"
+
+#include <iterator>
+
+namespace vpm::dissem {
+
+void MemoryStorage::put(Envelope envelope) {
+  auto& retained = stored_[envelope.producer];
+  const std::uint64_t sequence = envelope.sequence;
+  stats_.payload_bytes += envelope.payload.size();
+  ++stats_.envelopes;
+  retained.emplace(sequence, std::move(envelope));
+}
+
+bool MemoryStorage::contains(DomainId producer,
+                             std::uint64_t sequence) const {
+  const auto it = stored_.find(producer);
+  return it != stored_.end() && it->second.contains(sequence);
+}
+
+void MemoryStorage::visit_after(
+    DomainId producer, std::uint64_t cursor,
+    core::FunctionRef<void(std::uint64_t, std::span<const std::byte>)> visit)
+    const {
+  const auto it = stored_.find(producer);
+  if (it == stored_.end()) return;
+  // A reference, not the iterator: `visit` may put() (inserting a new
+  // producer mutates stored_) — the mapped std::map itself is stable.
+  const auto& envs = it->second;
+  // Resume strictly after the cursor, re-finding the successor BY KEY
+  // after every visit: a cursor consumer legitimately acks at round
+  // boundaries mid-walk, and the ack's garbage collection erases the map
+  // node the walk just visited — incrementing that iterator would walk a
+  // freed Rb-tree node (release-build segfault; ASan misses it because
+  // the increment runs inside uninstrumented libstdc++).
+  auto env_it = envs.upper_bound(cursor);
+  while (env_it != envs.end()) {
+    const std::uint64_t seq = env_it->first;
+    visit(seq, env_it->second.payload);
+    env_it = envs.upper_bound(seq);
+  }
+}
+
+std::size_t MemoryStorage::count_after(DomainId producer,
+                                       std::uint64_t cursor) const {
+  const auto it = stored_.find(producer);
+  if (it == stored_.end()) return 0;
+  return static_cast<std::size_t>(
+      std::distance(it->second.upper_bound(cursor), it->second.end()));
+}
+
+void MemoryStorage::erase_through(DomainId producer, std::uint64_t floor) {
+  const auto it = stored_.find(producer);
+  if (it == stored_.end()) return;
+  auto& envs = it->second;
+  const auto end = envs.upper_bound(floor);
+  for (auto env_it = envs.begin(); env_it != end; ++env_it) {
+    stats_.payload_bytes -= env_it->second.payload.size();
+    --stats_.envelopes;
+    ++stats_.erased;
+  }
+  envs.erase(envs.begin(), end);
+}
+
+StorageStats MemoryStorage::producer_stats(DomainId producer) const {
+  StorageStats out;
+  const auto it = stored_.find(producer);
+  if (it == stored_.end()) return out;
+  out.envelopes = it->second.size();
+  for (const auto& [seq, env] : it->second) {
+    out.payload_bytes += env.payload.size();
+  }
+  return out;
+}
+
+std::unique_ptr<EnvelopeStorage> make_memory_storage() {
+  return std::make_unique<MemoryStorage>();
+}
+
+}  // namespace vpm::dissem

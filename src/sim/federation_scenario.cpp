@@ -1,0 +1,532 @@
+#include "sim/federation_scenario.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "collector/monitoring_cache.hpp"
+#include "core/incremental_verifier.hpp"
+#include "core/receipt_sink.hpp"
+#include "dissem/faulty_transport.hpp"
+#include "dissem/federated_store.hpp"
+#include "dissem/segment_store.hpp"
+#include "dissem/wire_exporter.hpp"
+#include "dissem/wire_importer.hpp"
+#include "sim/scenario_common.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace vpm::sim {
+namespace {
+
+using scenario::add_stats;
+using scenario::dedupe_gaps;
+using scenario::path_table;
+
+constexpr std::size_t kHops = 3;
+constexpr dissem::DomainKey kKey = 0xFEDC0DE;
+
+/// Cut `1 + rnd % 40`-ish bytes off the lexicographically last segment
+/// file under `root` — a torn tail write for recovery to truncate.  The
+/// choice of file is deterministic (the run is deterministic up to the
+/// crash, so its directory listing is too).  Returns false when no
+/// segment file has bytes to spare past its header.
+bool tear_segment_tail(const std::filesystem::path& root, std::uint64_t rnd) {
+  std::filesystem::path victim;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".seg") {
+      continue;
+    }
+    if (victim.empty() || entry.path().generic_string() >
+                              victim.generic_string()) {
+      victim = entry.path();
+    }
+  }
+  if (victim.empty()) return false;
+  const std::uintmax_t size = std::filesystem::file_size(victim);
+  if (size <= dissem::kSegmentHeaderBytes + 8) return false;
+  const std::uintmax_t spare = size - dissem::kSegmentHeaderBytes;
+  const std::uintmax_t cut =
+      1 + rnd % std::min<std::uintmax_t>(spare, 40);
+  std::filesystem::resize_file(victim, size - cut);
+  return true;
+}
+
+/// One domain's tick-driven auditor stream: acks the contiguous prefix,
+/// skipping a hole only after `patience` consecutive stalled rounds.
+/// Deliberately RNG-free and never reset at a store crash (the auditor
+/// daemon outlives the store process), so its ack schedule — and through
+/// it every GC floor — is identical between the crashed run and the
+/// memory reference.
+struct AuditorStream {
+  dissem::DomainId producer = 0;
+  std::uint64_t cursor = 0;
+  std::set<std::uint64_t> seen;  ///< retained sequences above the cursor
+  std::uint64_t hole_age = 0;
+};
+
+}  // namespace
+
+FederationScenarioResult run_federation_scenario(
+    const ScenarioConfig& cfg, const std::filesystem::path& directory) {
+  const std::size_t domains = cfg.fed_domains;
+  if (domains < 3) {
+    throw std::invalid_argument("federation: fed_domains must be >= 3");
+  }
+  if (cfg.rounds == 0 || cfg.paths == 0) {
+    throw std::invalid_argument("federation: empty run");
+  }
+  if (cfg.faults.delay_rate > 0.0 &&
+      cfg.gap_patience_polls < cfg.faults.max_delay_ticks) {
+    throw std::invalid_argument(
+        "federation: gap patience below the plan's max delay");
+  }
+  const bool segment = cfg.fed_segment_backend;
+  if (segment && directory.empty()) {
+    throw std::invalid_argument("federation: segment backend needs a directory");
+  }
+  if (!segment && (cfg.fed_crash_every != 0 || cfg.fed_torn_tail)) {
+    throw std::invalid_argument(
+        "federation: crash-restart requires the segment backend");
+  }
+  if (cfg.fed_torn_tail && cfg.fed_crash_every == 0) {
+    throw std::invalid_argument(
+        "federation: fed_torn_tail without fed_crash_every never fires");
+  }
+  if (cfg.fed_join_round >= cfg.rounds) {
+    throw std::invalid_argument("federation: join round past the run");
+  }
+  // A late joiner reads the GC floor at its join instant.  Before the
+  // first crash that floor is bit-identical between the crashed run and
+  // the reference; after a crash a rebuilt client's resync can trail the
+  // reference by up to a patience window, so a join there could read a
+  // different floor and legitimately diverge.  Refuse the combination
+  // instead of producing a flaky identity assertion.
+  if (cfg.fed_crash_every != 0 && cfg.fed_join_round >= cfg.fed_crash_every) {
+    throw std::invalid_argument(
+        "federation: join round must precede the first crash");
+  }
+
+  const std::size_t flows = domains;  // ring: one flow per starting domain
+  const auto hid = [](std::size_t flow, std::size_t k) {
+    return static_cast<net::HopId>(1 + flow * kHops + k);
+  };
+  const auto vname = [](std::size_t flow) {
+    return "v-f" + std::to_string(flow);
+  };
+
+  FederationScenarioResult result;
+  result.domains = domains;
+  result.flows = flows;
+  result.feeds.assign(flows, std::vector<std::vector<core::IndexedPathDrain>>(
+                                 kHops));
+  result.gaps.assign(flows, std::vector<std::vector<core::RoundGap>>(kHops));
+  result.client_stats.assign(
+      flows, std::vector<dissem::FetchClient::Stats>(kHops));
+
+  // --- per-flow layout and traffic ----------------------------------------
+  std::vector<core::PathLayout> layouts(flows);
+  for (std::size_t f = 0; f < flows; ++f) {
+    for (std::size_t k = 0; k < kHops; ++k) {
+      layouts[f].hops.push_back(hid(f, k));
+      layouts[f].domain_of.push_back("d" + std::to_string((f + k) % domains));
+    }
+  }
+
+  const std::int64_t round_ns = cfg.round_length.nanoseconds();
+  std::vector<trace::MultiPathTrace> traces;
+  traces.reserve(flows);
+  // [flow][round] packets; [flow][hop][round] observation times.
+  std::vector<std::vector<std::vector<net::Packet>>> round_packets(flows);
+  std::vector<std::array<std::vector<std::vector<net::Timestamp>>, kHops>>
+      round_when(flows);
+  for (std::size_t f = 0; f < flows; ++f) {
+    traces.push_back(trace::generate_multi_path(scenario::multi_path_config(
+        cfg.paths, cfg.zipf_s, cfg.packets_per_second, cfg.round_length,
+        cfg.rounds, cfg.seed + 7919 * f)));
+    const trace::MultiPathTrace& multi = traces.back();
+    round_packets[f].resize(cfg.rounds);
+    for (auto& w : round_when[f]) w.resize(cfg.rounds);
+    for (std::size_t i = 0; i < multi.packets.size(); ++i) {
+      net::Packet p = multi.packets[i];
+      p.origin_time = scenario::quantize_us(p.origin_time);
+      const std::size_t r =
+          scenario::round_of(p.origin_time, round_ns, cfg.rounds);
+      const std::size_t path = multi.path_of[i];
+      round_packets[f][r].push_back(p);
+      for (std::size_t k = 0; k < kHops; ++k) {
+        round_when[f][k][r].push_back(
+            p.origin_time + scenario::spread_hop_delay(
+                                cfg.seed ^ (f * 131), path, k,
+                                net::microseconds(400), 32));
+      }
+      ++result.total_packets;
+    }
+  }
+
+  // --- collectors ---------------------------------------------------------
+  std::vector<std::array<collector::MonitoringCache::Config, kHops>> hop_cfg(
+      flows);
+  std::vector<std::array<std::optional<collector::MonitoringCache>, kHops>>
+      caches(flows);
+  for (std::size_t f = 0; f < flows; ++f) {
+    for (std::size_t k = 0; k < kHops; ++k) {
+      collector::MonitoringCache::Config c;
+      c.protocol.digest_mode = cfg.digest_mode;
+      c.protocol.marker_rate = cfg.marker_rate;
+      c.tuning = cfg.tuning;
+      c.self = layouts[f].hops[k];
+      c.previous_hop = k == 0 ? net::kNoHop : layouts[f].hops[k - 1];
+      c.next_hop = k + 1 == kHops ? net::kNoHop : layouts[f].hops[k + 1];
+      hop_cfg[f][k] = c;
+      caches[f][k].emplace(c, traces[f].paths);
+    }
+  }
+
+  // --- the store (a process we can kill) ----------------------------------
+  const auto make_store = [&] {
+    dissem::FederatedStoreConfig scfg;
+    scfg.shards = cfg.fed_store_shards;
+    if (segment) scfg.directory = directory;
+    scfg.max_segment_bytes = cfg.fed_segment_bytes;
+    scfg.cursor_snapshot_every = 512;  // small: the sim exercises compaction
+    return std::make_unique<dissem::FederatedStore>(std::move(scfg));
+  };
+  std::unique_ptr<dissem::FederatedStore> fed = make_store();
+
+  const auto register_producers = [&] {
+    for (std::size_t f = 0; f < flows; ++f) {
+      for (std::size_t k = 0; k < kHops; ++k) {
+        fed->register_producer(hid(f, k), kKey);
+      }
+    }
+  };
+  register_producers();
+
+  // Producer-side archive of every envelope the store ACCEPTED — what a
+  // real producer keeps un-garbage-collected until the store acks
+  // durability.  After a crash the fleet re-sends it: the store's recovered
+  // floor and retained set reject everything except what a torn tail
+  // destroyed, restoring the exact pre-crash state.
+  std::map<dissem::DomainId, std::map<std::uint64_t, dissem::Envelope>>
+      archives;
+  const auto ingest_arrival = [&](dissem::Envelope&& e) {
+    const dissem::DomainId p = e.producer;
+    const std::uint64_t seq = e.sequence;
+    dissem::Envelope copy = e;
+    if (fed->ingest(std::move(e)) == dissem::IngestResult::kAccepted) {
+      archives[p].emplace(seq, std::move(copy));
+    }
+  };
+
+  // --- the wire: exporters -> faulty transports -> store ------------------
+  bool faults_on = true;  // the closing round ships on a clean wire
+  std::vector<std::array<std::optional<dissem::FaultyTransport>, kHops>>
+      transports(flows);
+  std::vector<std::array<std::optional<dissem::WireExporter>, kHops>>
+      exporters(flows);
+  for (std::size_t f = 0; f < flows; ++f) {
+    for (std::size_t k = 0; k < kHops; ++k) {
+      transports[f][k].emplace(cfg.faults,
+                               cfg.fault_seed + f * kHops + k,
+                               [&ingest_arrival](dissem::Envelope&& e) {
+                                 ingest_arrival(std::move(e));
+                               });
+      auto* transport = &*transports[f][k];
+      exporters[f][k].emplace(
+          dissem::WireExporter::Config{.producer = hid(f, k),
+                                       .key = kKey,
+                                       .max_chunk_bytes = cfg.max_chunk_bytes},
+          [transport, &ingest_arrival, &faults_on](dissem::Envelope&& e) {
+            if (faults_on) {
+              transport->send(std::move(e));
+            } else {
+              ingest_arrival(std::move(e));
+            }
+          });
+    }
+  }
+
+  // --- auditors: every domain gates GC of its own streams -----------------
+  const std::uint64_t patience = cfg.gap_patience_polls;
+  std::vector<std::vector<AuditorStream>> auditors(domains);
+  const auto aname = [](std::size_t d) {
+    return "audit-d" + std::to_string(d);
+  };
+  for (std::size_t f = 0; f < flows; ++f) {
+    for (std::size_t k = 0; k < kHops; ++k) {
+      AuditorStream s;
+      s.producer = hid(f, k);
+      auditors[(f + k) % domains].push_back(std::move(s));
+    }
+  }
+  const auto subscribe_auditors = [&] {
+    for (std::size_t d = 0; d < domains; ++d) {
+      for (const AuditorStream& s : auditors[d]) {
+        fed->subscribe(aname(d), s.producer);
+      }
+    }
+  };
+  subscribe_auditors();
+
+  const auto tick_auditors = [&] {
+    for (std::size_t d = 0; d < domains; ++d) {
+      for (AuditorStream& s : auditors[d]) {
+        fed->fetch_from(aname(d), s.producer,
+                        [&s](std::uint64_t seq, std::span<const std::byte>) {
+                          s.seen.insert(seq);
+                        });
+        std::uint64_t target = s.cursor;
+        while (s.seen.contains(target + 1)) {
+          s.seen.erase(target + 1);
+          ++target;
+        }
+        if (target == s.cursor && !s.seen.empty()) {
+          // Stalled below a hole.  Wait out the transport's reorder window,
+          // then ack past the missing sequences to the next retained run —
+          // the floor must not be hostage to a dropped envelope forever.
+          if (++s.hole_age > patience) {
+            target = *s.seen.begin();
+            s.seen.erase(s.seen.begin());
+            while (s.seen.contains(target + 1)) {
+              s.seen.erase(target + 1);
+              ++target;
+            }
+            s.hole_age = 0;
+          }
+        } else if (target != s.cursor) {
+          s.hole_age = 0;
+        }
+        if (target > s.cursor) {
+          (void)fed->ack(aname(d), s.producer, target);
+          s.cursor = target;
+        }
+      }
+    }
+  };
+
+  // --- verifier fleets ----------------------------------------------------
+  std::vector<std::vector<core::IncrementalPathVerifier>> verifiers(flows);
+  for (std::size_t f = 0; f < flows; ++f) {
+    const core::IncrementalPathVerifier::Config vcfg{
+        .layout = layouts[f],
+        .retain_rounds = cfg.rounds + 8,
+        .margin_boundaries = 2,
+    };
+    verifiers[f].reserve(cfg.paths);
+    for (std::size_t p = 0; p < cfg.paths; ++p) verifiers[f].emplace_back(vcfg);
+  }
+
+  std::vector<std::array<std::optional<dissem::WireImporter>, kHops>>
+      importers(flows);
+  for (std::size_t f = 0; f < flows; ++f) {
+    for (std::size_t k = 0; k < kHops; ++k) {
+      importers[f][k].emplace(path_table(hop_cfg[f][k], traces[f].paths));
+    }
+  }
+
+  std::vector<std::vector<std::vector<core::RoundGap>>> raw_gaps(
+      flows, std::vector<std::vector<core::RoundGap>>(kHops));
+  std::vector<std::array<std::unique_ptr<dissem::FetchClient>, kHops>>
+      clients(flows);
+  std::vector<char> joined(flows, 0);
+
+  const auto build_client = [&](std::size_t f, std::size_t k) {
+    dissem::FetchClient::Config ccfg;
+    ccfg.consumer = vname(f);
+    ccfg.producer = hid(f, k);
+    ccfg.producer_name = layouts[f].domain_of[k];
+    ccfg.hop = hid(f, k);
+    ccfg.gap_patience_polls = cfg.gap_patience_polls;
+    ccfg.seed = cfg.seed ^ (0xC11E57ull + hid(f, k));
+    clients[f][k] = std::make_unique<dissem::FetchClient>(
+        *importers[f][k], fed->shard_for(hid(f, k)), ccfg,
+        [&result, &verifiers, &layouts, f,
+         k](std::vector<core::IndexedPathDrain>&& groups) {
+          for (core::IndexedPathDrain& g : groups) {
+            result.feeds[f][k].push_back(g);
+            verifiers[f][g.path].add_round(layouts[f].hops[k],
+                                           std::move(g.drain));
+          }
+        },
+        [&raw_gaps, f, k](core::RoundGap&& gap) {
+          raw_gaps[f][k].push_back(std::move(gap));
+        });
+  };
+  const auto retire_client = [&](std::size_t f, std::size_t k) {
+    add_stats(result.client_stats[f][k], clients[f][k]->stats());
+    clients[f][k].reset();
+  };
+  const auto subscribe_flow = [&](std::size_t f) {
+    for (std::size_t k = 0; k < kHops; ++k) {
+      fed->subscribe(vname(f), hid(f, k));
+    }
+  };
+  const auto join_flow = [&](std::size_t f) {
+    subscribe_flow(f);
+    for (std::size_t k = 0; k < kHops; ++k) build_client(f, k);
+    joined[f] = 1;
+  };
+  // The last flow joins late when configured; everyone else from round 0.
+  const std::size_t late_flow = flows - 1;
+  for (std::size_t f = 0; f < flows; ++f) {
+    if (cfg.fed_join_round != 0 && f == late_flow) continue;
+    join_flow(f);
+  }
+  const std::size_t lag_flow = cfg.fed_lag_every != 0 ? 1 : flows;
+
+  // --- the crash ----------------------------------------------------------
+  const auto crash_restart = [&](std::size_t round) {
+    for (std::size_t f = 0; f < flows; ++f) {
+      if (!joined[f]) continue;
+      for (std::size_t k = 0; k < kHops; ++k) retire_client(f, k);
+    }
+    fed.reset();  // the store process dies; files close
+    if (cfg.fed_torn_tail &&
+        tear_segment_tail(directory,
+                          scenario::mix(cfg.seed ^ (0x7EA5ull * round)))) {
+      ++result.torn_tails;
+    }
+    fed = make_store();  // reopen: segment + cursor-log recovery
+    ++result.store_crashes;
+    register_producers();  // keys are in-memory only
+    subscribe_auditors();  // idempotent over the recovered registrations
+    for (std::size_t f = 0; f < flows; ++f) {
+      if (joined[f]) subscribe_flow(f);
+    }
+    // Producers re-send their archives: only torn-away envelopes accept.
+    for (auto& [producer, by_seq] : archives) {
+      for (auto& [seq, env] : by_seq) {
+        dissem::Envelope copy = env;
+        if (fed->ingest(std::move(copy)) == dissem::IngestResult::kAccepted) {
+          ++result.reingest_accepted;
+        } else {
+          ++result.reingest_rejected;
+        }
+      }
+    }
+    for (std::size_t f = 0; f < flows; ++f) {
+      if (!joined[f]) continue;
+      for (std::size_t k = 0; k < kHops; ++k) {
+        build_client(f, k);
+        ++result.client_rebuilds;
+      }
+    }
+  };
+
+  // --- the rounds ---------------------------------------------------------
+  for (std::size_t r = 0; r < cfg.rounds; ++r) {
+    if (segment && cfg.fed_crash_every != 0 && r != 0 &&
+        r % cfg.fed_crash_every == 0) {
+      crash_restart(r);
+    }
+    if (cfg.fed_join_round != 0 && r == cfg.fed_join_round) {
+      join_flow(late_flow);
+    }
+    for (std::size_t f = 0; f < flows; ++f) {
+      for (std::size_t k = 0; k < kHops; ++k) {
+        caches[f][k]->observe_batch(round_packets[f][r], round_when[f][k][r]);
+        caches[f][k]->drain_all(*exporters[f][k], /*flush_open=*/false);
+        exporters[f][k]->end_round();
+        exporters[f][k]->flush();
+        transports[f][k]->tick();
+      }
+    }
+    tick_auditors();
+    for (std::size_t f = 0; f < flows; ++f) {
+      if (!joined[f]) continue;
+      if (f == lag_flow && r % cfg.fed_lag_every != 0) continue;
+      for (std::size_t k = 0; k < kHops; ++k) clients[f][k]->poll();
+    }
+    if (segment) {
+      result.segments_live_peak = std::max(
+          result.segments_live_peak, fed->storage_stats().segments_live);
+    }
+  }
+
+  // --- the clean closing round --------------------------------------------
+  for (std::size_t f = 0; f < flows; ++f) {
+    for (std::size_t k = 0; k < kHops; ++k) transports[f][k]->flush();
+  }
+  faults_on = false;
+  for (std::size_t f = 0; f < flows; ++f) {
+    for (std::size_t k = 0; k < kHops; ++k) {
+      caches[f][k]->drain_all(*exporters[f][k], /*flush_open=*/true);
+      exporters[f][k]->finish();
+    }
+  }
+  const std::size_t settle = cfg.gap_patience_polls + 16;
+  for (std::size_t i = 0; i < settle; ++i) {
+    tick_auditors();
+    for (std::size_t f = 0; f < flows; ++f) {
+      if (!joined[f]) continue;
+      for (std::size_t k = 0; k < kHops; ++k) clients[f][k]->poll();
+    }
+  }
+  for (std::size_t f = 0; f < flows; ++f) {
+    if (!joined[f]) continue;
+    for (std::size_t k = 0; k < kHops; ++k) {
+      clients[f][k]->finalize();
+      retire_client(f, k);
+    }
+  }
+
+  // --- gap bookkeeping and analyses ---------------------------------------
+  for (std::size_t f = 0; f < flows; ++f) {
+    std::unordered_map<std::uint64_t, std::size_t> index_of_key;
+    for (std::size_t p = 0; p < cfg.paths; ++p) {
+      index_of_key[importers[f][0]->path_at(p).path_key()] = p;
+    }
+    for (std::size_t k = 0; k < kHops; ++k) {
+      result.gaps[f][k] = dedupe_gaps(std::move(raw_gaps[f][k]));
+      for (const core::RoundGap& g : result.gaps[f][k]) {
+        for (std::uint64_t key : g.affected_paths) {
+          const auto it = index_of_key.find(key);
+          if (it != index_of_key.end()) {
+            verifiers[f][it->second].report_gap(g);
+          }
+        }
+      }
+    }
+  }
+  result.analyses.resize(flows);
+  for (std::size_t f = 0; f < flows; ++f) {
+    result.analyses[f].reserve(cfg.paths);
+    for (std::size_t p = 0; p < cfg.paths; ++p) {
+      result.analyses[f].push_back(verifiers[f][p].analyze());
+    }
+  }
+
+  // --- store end state ----------------------------------------------------
+  for (std::size_t f = 0; f < flows; ++f) {
+    if (!joined[f]) continue;
+    for (std::size_t k = 0; k < kHops; ++k) {
+      result.max_consumer_lag_end =
+          std::max(result.max_consumer_lag_end,
+                   fed->consumer_lag(vname(f), hid(f, k)));
+    }
+  }
+  result.storage_end = fed->storage_stats();
+  if (segment) {
+    result.segments_live_peak = std::max(result.segments_live_peak,
+                                         result.storage_end.segments_live);
+  }
+  for (std::size_t f = 0; f < flows; ++f) {
+    for (std::size_t k = 0; k < kHops; ++k) {
+      result.producer_storage_end.emplace_back(
+          hid(f, k), fed->producer_storage_stats(hid(f, k)));
+    }
+  }
+  result.store_accepted = fed->accepted_count();
+  result.store_rejected = fed->rejected_count();
+  return result;
+}
+
+}  // namespace vpm::sim

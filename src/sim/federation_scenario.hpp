@@ -1,0 +1,105 @@
+// Multi-domain fleet simulation over the federated dissemination service
+// (ISSUE 9): every domain is simultaneously PRODUCER of its own receipt
+// streams and CONSUMER of its neighbours'.
+//
+// Topology: cfg.fed_domains domains in a ring; flow f runs over the three
+// consecutive domains (f, f+1, f+2 mod D) as its own three-HOP pipeline
+// (globally unique HOP ids double as producer DomainIds, the fault-soak
+// convention).  Each domain therefore owns three producer streams — one
+// per flow that crosses it — published through WireExporter over
+// FaultyTransport into one shared dissem::FederatedStore (producer-sharded
+// per cfg.fed_store_shards; memory or disk-segment backend per
+// cfg.fed_segment_backend).  Consumption is two-tier:
+//
+//   * each domain runs a tick-driven AUDITOR over its own streams —
+//     subscribe()d, so it gates GC of exactly those producers — acking
+//     the contiguous prefix with bounded hole patience.  Auditors keep
+//     the GC floor moving even when a flow's verifier has not joined yet,
+//     and, crucially for the crash-identity assertion, they are pure
+//     functions of store content: no RNG, no state lost at a store crash
+//     (the auditor daemon is a separate process from the store);
+//   * each flow's observer domain runs three FetchClients (one per hop)
+//     feeding per-path IncrementalPathVerifiers — the PR-6 consumer loop,
+//     crash-resumed from acked cursors.
+//
+// Fleet dynamics driven by the fed_* ScenarioConfig fields: the last
+// flow's clients can JOIN LATE (subscribing at the current GC floor), one
+// flow's clients can LAG (polling every Nth round), and — segment backend
+// only — the STORE PROCESS is killed every fed_crash_every rounds: the
+// FederatedStore object is destroyed, optionally a torn tail is cut into
+// the last segment file, and the store is re-opened from disk.  Producers
+// then re-send their archive of store-ACCEPTED envelopes (restoring
+// exactly the pre-crash retained set: torn-away records re-accept, GC'd
+// ones bounce off the recovered floor, retained ones dedupe) and the
+// fleet's clients rebuild from their recovered cursors.
+//
+// The whole run is deterministic in cfg: a segment-backed run with
+// crashes must produce delivered feeds, per-path analyses, and deduped
+// gap reports BYTE-IDENTICAL to the memory-backed run that never crashed
+// (federation_soak_test pins the matrix).
+#ifndef VPM_SIM_FEDERATION_SCENARIO_HPP
+#define VPM_SIM_FEDERATION_SCENARIO_HPP
+
+#include <cstdint>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "core/verifier.hpp"
+#include "dissem/fetch_client.hpp"
+#include "dissem/storage.hpp"
+#include "sim/scenario_config.hpp"
+
+namespace vpm::sim {
+
+struct FederationScenarioResult {
+  std::size_t domains = 0;
+  std::size_t flows = 0;
+  std::uint64_t total_packets = 0;
+
+  // The identity payload: everything here must match between a crashed
+  // segment-backed run and the uninterrupted memory reference.
+  /// feeds[flow][hop]: delivered drain groups in delivery order.
+  std::vector<std::vector<std::vector<core::IndexedPathDrain>>> feeds;
+  /// analyses[flow][path].
+  std::vector<std::vector<core::PathAnalysis>> analyses;
+  /// gaps[flow][hop], deduplicated across crash re-declarations.
+  std::vector<std::vector<std::vector<core::RoundGap>>> gaps;
+
+  // Durability bookkeeping (segment backend).
+  std::size_t store_crashes = 0;
+  std::size_t torn_tails = 0;       ///< crashes that also tore a segment
+  std::size_t client_rebuilds = 0;
+  /// Producer re-sends after recovery: accepted == envelopes a torn tail
+  /// destroyed (0 for every clean shutdown), rejected == duplicates and
+  /// floor-stale copies the store correctly refused.
+  std::size_t reingest_accepted = 0;
+  std::size_t reingest_rejected = 0;
+
+  // Store end state.
+  dissem::StorageStats storage_end;
+  /// (producer, stats) per producer stream at end of run.
+  std::vector<std::pair<dissem::DomainId, dissem::StorageStats>>
+      producer_storage_end;
+  std::size_t store_accepted = 0;
+  std::size_t store_rejected = 0;
+  /// Peak live segment-file count observed at round boundaries — the
+  /// bounded-directory assertion (GC unlinks must keep up with append).
+  std::size_t segments_live_peak = 0;
+  std::size_t max_consumer_lag_end = 0;  ///< verifier consumers, post-settle
+
+  /// FetchClient stats summed across incarnations, [flow][hop].
+  std::vector<std::vector<dissem::FetchClient::Stats>> client_stats;
+};
+
+/// Run the fleet.  `directory` roots the segment store when
+/// cfg.fed_segment_backend (ignored otherwise); the caller owns cleanup.
+/// Deterministic per cfg.  Throws std::invalid_argument for
+/// fed_domains < 3, a patience that cannot cover the fault plan's delays,
+/// or crash/torn settings without the segment backend.
+FederationScenarioResult run_federation_scenario(
+    const ScenarioConfig& cfg, const std::filesystem::path& directory);
+
+}  // namespace vpm::sim
+
+#endif  // VPM_SIM_FEDERATION_SCENARIO_HPP

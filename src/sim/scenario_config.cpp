@@ -214,6 +214,26 @@ std::string ScenarioConfig::to_string() const {
   if (gap_patience_polls != def.gap_patience_polls) {
     put("gap_patience", std::to_string(gap_patience_polls));
   }
+  if (fed_domains != def.fed_domains) {
+    put("fed_domains", std::to_string(fed_domains));
+  }
+  if (fed_store_shards != def.fed_store_shards) {
+    put("fed_shards", std::to_string(fed_store_shards));
+  }
+  if (fed_segment_backend) put("fed_backend", "segment");
+  if (fed_segment_bytes != def.fed_segment_bytes) {
+    put("fed_segment_bytes", std::to_string(fed_segment_bytes));
+  }
+  if (fed_crash_every != def.fed_crash_every) {
+    put("fed_crash_every", std::to_string(fed_crash_every));
+  }
+  if (fed_torn_tail) put("fed_torn_tail", "1");
+  if (fed_join_round != def.fed_join_round) {
+    put("fed_join_round", std::to_string(fed_join_round));
+  }
+  if (fed_lag_every != def.fed_lag_every) {
+    put("fed_lag_every", std::to_string(fed_lag_every));
+  }
   return out;
 }
 
@@ -357,6 +377,28 @@ ScenarioConfig parse_scenario(std::string_view text) {
       cfg.crash_every_rounds = static_cast<std::size_t>(parse_u64(token, value));
     } else if (key == "gap_patience") {
       cfg.gap_patience_polls = parse_u64(token, value);
+    } else if (key == "fed_domains") {
+      cfg.fed_domains = static_cast<std::size_t>(parse_u64(token, value));
+    } else if (key == "fed_shards") {
+      cfg.fed_store_shards = static_cast<std::size_t>(parse_u64(token, value));
+    } else if (key == "fed_backend") {
+      if (value == "memory") {
+        cfg.fed_segment_backend = false;
+      } else if (value == "segment") {
+        cfg.fed_segment_backend = true;
+      } else {
+        bad_token(token, "unknown federation backend");
+      }
+    } else if (key == "fed_segment_bytes") {
+      cfg.fed_segment_bytes = static_cast<std::size_t>(parse_u64(token, value));
+    } else if (key == "fed_crash_every") {
+      cfg.fed_crash_every = static_cast<std::size_t>(parse_u64(token, value));
+    } else if (key == "fed_torn_tail") {
+      cfg.fed_torn_tail = parse_u64(token, value) != 0;
+    } else if (key == "fed_join_round") {
+      cfg.fed_join_round = static_cast<std::size_t>(parse_u64(token, value));
+    } else if (key == "fed_lag_every") {
+      cfg.fed_lag_every = static_cast<std::size_t>(parse_u64(token, value));
     } else {
       bad_token(token, "unknown key");
     }

@@ -135,6 +135,32 @@ struct ScenarioConfig {
   std::size_t crash_every_rounds = 0;  ///< FetchClient crash-restart cadence
   std::uint64_t gap_patience_polls = 3;
 
+  // Federation (sim/federation_scenario): a ring of fed_domains domains,
+  // each simultaneously producer and consumer against a shared
+  // FederatedStore.  fed_domains == 0 leaves the classic chain engine in
+  // charge; >= 3 enables the fleet (each flow spans 3 consecutive
+  // domains).
+  std::size_t fed_domains = 0;
+  std::size_t fed_store_shards = 1;
+  /// false: volatile memory backend.  true: disk segment backend — the
+  /// run directory is chosen by the driver (a path is runtime state, not
+  /// scenario identity, so it never appears in the repro line).
+  bool fed_segment_backend = false;
+  std::size_t fed_segment_bytes = 16 * 1024;  ///< segment roll threshold
+  /// Kill the STORE process (and the fleet's sessions with it) every Nth
+  /// round and reopen from disk segments (0 = never; segment backend
+  /// only).
+  std::size_t fed_crash_every = 0;
+  /// Tear a few bytes off the last segment file at each crash (a torn
+  /// tail write the recovery scan must truncate).
+  bool fed_torn_tail = false;
+  /// Round at which the LAST domain's verifier clients join (0 = from the
+  /// start); late joiners start at the GC floor.
+  std::size_t fed_join_round = 0;
+  /// One domain's clients poll only every Nth round (0 = every round) —
+  /// the lagging-consumer case that stretches retention.
+  std::size_t fed_lag_every = 0;
+
   /// The one-line repro string: `key=value` pairs, space separated, only
   /// keys differing from the defaults (name and seed always included).
   [[nodiscard]] std::string to_string() const;

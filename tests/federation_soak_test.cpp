@@ -1,0 +1,187 @@
+// Crash-durability soak for the federated dissemination fleet (ISSUE 9).
+//
+// The oracle is run_federation_scenario itself: a segment-backed run in
+// which the store process is killed every few rounds (optionally with a
+// torn tail cut into the last segment file) must re-derive consumer feeds,
+// per-path verifier analyses, and deduplicated gap reports BYTE-IDENTICAL
+// to the same scenario on the volatile memory backend that never crashes.
+// The matrix covers 10 seeds x {1,4} producer shards x {clean, torn}
+// shutdowns; a 50-round churn run additionally pins that GC'd segments
+// are actually unlinked from disk (bounded directory size).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+
+#include "helpers.hpp"
+#include "sim/federation_scenario.hpp"
+#include "sim/scenario_config.hpp"
+
+namespace vpm {
+namespace {
+
+using sim::FederationScenarioResult;
+using sim::ScenarioConfig;
+
+std::size_t segment_files_on_disk(const std::filesystem::path& dir) {
+  std::size_t n = 0;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".seg") ++n;
+  }
+  return n;
+}
+
+/// The fleet everyone runs: 3 domains (3 flows x 3 HOPs = 9 producer
+/// streams), a moderately hostile wire, one late-joining flow, one
+/// lagging flow.
+ScenarioConfig base_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.name = "federation";
+  cfg.seed = seed;
+  cfg.fed_domains = 3;
+  cfg.paths = 2;
+  cfg.rounds = 12;
+  cfg.round_length = net::milliseconds(20);
+  cfg.packets_per_second = 4000.0;
+  cfg.marker_rate = 1.0 / 32.0;
+  cfg.max_chunk_bytes = 2 * 1024;
+  cfg.gap_patience_polls = 3;
+  cfg.faults.drop_rate = 0.03;
+  cfg.faults.delay_rate = 0.06;
+  cfg.faults.reorder_rate = 0.05;
+  cfg.faults.duplicate_rate = 0.04;
+  cfg.faults.max_delay_ticks = 2;
+  cfg.fault_seed = seed * 31 + 7;
+  cfg.fed_join_round = 2;
+  cfg.fed_lag_every = 2;
+  cfg.fed_segment_bytes = 2 * 1024;
+  return cfg;
+}
+
+void expect_identical(const FederationScenarioResult& run,
+                      const FederationScenarioResult& ref,
+                      const std::string& label) {
+  ASSERT_EQ(run.flows, ref.flows) << label;
+  for (std::size_t f = 0; f < run.flows; ++f) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_EQ(run.feeds[f][k], ref.feeds[f][k])
+          << label << ": delivered feed diverged, flow " << f << " hop " << k;
+      EXPECT_EQ(run.gaps[f][k], ref.gaps[f][k])
+          << label << ": gap report diverged, flow " << f << " hop " << k;
+    }
+    EXPECT_EQ(run.analyses[f], ref.analyses[f])
+        << label << ": verifier analysis diverged, flow " << f;
+  }
+}
+
+TEST(FederationSoak, CrashDurabilityMatrix) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    // The uninterrupted in-memory reference for this seed.
+    const FederationScenarioResult ref =
+        run_federation_scenario(base_config(seed), {});
+    ASSERT_GT(ref.total_packets, 0u);
+    for (std::size_t f = 0; f < ref.flows; ++f) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        ASSERT_FALSE(ref.feeds[f][k].empty())
+            << "seed " << seed << ": flow " << f << " hop " << k
+            << " delivered nothing — the scenario is not exercising anything";
+      }
+    }
+
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      for (const bool torn : {false, true}) {
+        const std::string label = "seed " + std::to_string(seed) +
+                                  " shards " + std::to_string(shards) +
+                                  (torn ? " torn" : " clean");
+        test::TempDir tmp("fed-soak");
+        ScenarioConfig cfg = base_config(seed);
+        cfg.fed_segment_backend = true;
+        cfg.fed_store_shards = shards;
+        cfg.fed_segment_bytes = 1024;
+        cfg.fed_crash_every = 4;  // crashes at rounds 4 and 8
+        cfg.fed_torn_tail = torn;
+        const FederationScenarioResult run =
+            run_federation_scenario(cfg, tmp.path());
+
+        expect_identical(run, ref, label);
+
+        EXPECT_EQ(run.store_crashes, 2u) << label;
+        EXPECT_EQ(run.client_rebuilds, 2u * run.flows * 3) << label;
+        if (torn) {
+          // Every tear destroys at least the file's last record, which
+          // the producer archive must restore on recovery.
+          EXPECT_GE(run.torn_tails, 1u) << label;
+          EXPECT_GE(run.reingest_accepted, run.torn_tails) << label;
+        } else {
+          // A clean shutdown loses nothing: every re-sent envelope is a
+          // duplicate or floor-stale.
+          EXPECT_EQ(run.torn_tails, 0u) << label;
+          EXPECT_EQ(run.reingest_accepted, 0u) << label;
+        }
+        EXPECT_GT(run.reingest_rejected, 0u) << label;
+
+        // GC must actually unlink segment files, and the directory must
+        // hold exactly the live ones.
+        EXPECT_GT(run.storage_end.segments_unlinked, 0u) << label;
+        EXPECT_EQ(segment_files_on_disk(tmp.path()),
+                  run.storage_end.segments_live)
+            << label;
+      }
+    }
+  }
+}
+
+TEST(FederationSoak, SegmentBackendWithoutCrashesMatchesMemory) {
+  // Isolates the backend swap from the crash machinery: same fleet, disk
+  // segments, no kills.
+  const FederationScenarioResult ref =
+      run_federation_scenario(base_config(3), {});
+  test::TempDir tmp("fed-nocrash");
+  ScenarioConfig cfg = base_config(3);
+  cfg.fed_segment_backend = true;
+  cfg.fed_store_shards = 4;
+  const FederationScenarioResult run =
+      run_federation_scenario(cfg, tmp.path());
+  expect_identical(run, ref, "no-crash segment run");
+  EXPECT_EQ(run.store_crashes, 0u);
+  EXPECT_EQ(run.reingest_accepted + run.reingest_rejected, 0u);
+  EXPECT_GT(run.storage_end.segments_unlinked, 0u);
+}
+
+TEST(FederationSoak, BoundedDirectoryAcrossChurn) {
+  // 50 rounds of continuous traffic with periodic torn-tail crashes: the
+  // segment directory must stay bounded — GC unlinks keep pace with
+  // appends — while the delivered feeds still match the never-crashed
+  // memory reference.
+  ScenarioConfig cfg = base_config(99);
+  cfg.rounds = 50;
+  cfg.packets_per_second = 2500.0;
+  const FederationScenarioResult ref = run_federation_scenario(cfg, {});
+
+  test::TempDir tmp("fed-churn");
+  cfg.fed_segment_backend = true;
+  cfg.fed_store_shards = 4;
+  cfg.fed_segment_bytes = 1024;
+  cfg.fed_crash_every = 10;  // crashes at 10, 20, 30, 40
+  cfg.fed_torn_tail = true;
+  const FederationScenarioResult run = run_federation_scenario(cfg, tmp.path());
+
+  expect_identical(run, ref, "churn");
+  EXPECT_EQ(run.store_crashes, 4u);
+
+  // Boundedness: the directory never held more than a fraction of all
+  // segments ever created, and what is on disk at the end is exactly the
+  // live set.
+  const std::size_t total_created =
+      run.storage_end.segments_unlinked + run.storage_end.segments_live;
+  EXPECT_GT(run.storage_end.segments_unlinked, 0u);
+  EXPECT_LT(run.segments_live_peak, total_created / 2)
+      << "GC is not keeping up with segment creation";
+  EXPECT_EQ(segment_files_on_disk(tmp.path()),
+            run.storage_end.segments_live);
+  EXPECT_GT(run.total_packets, 0u);
+}
+
+}  // namespace
+}  // namespace vpm

@@ -2,8 +2,14 @@
 #ifndef VPM_TESTS_HELPERS_HPP
 #define VPM_TESTS_HELPERS_HPP
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <span>
+#include <string>
+#include <system_error>
 #include <vector>
 
 #include "core/hop_monitor.hpp"
@@ -13,6 +19,34 @@
 #include "trace/synthetic_trace.hpp"
 
 namespace vpm::test {
+
+/// RAII scratch directory under the system temp root, removed (with
+/// contents) on destruction even when the test fails.  All names share
+/// the `vpm-test-` prefix so the CI tmpdir-hygiene step can assert that
+/// no test leaves segment files behind.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<unsigned> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            ("vpm-test-" + tag + "-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter.fetch_add(1)));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort; never throws
+  }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
+ private:
+  std::filesystem::path path_;
+};
 
 /// A small, fast default trace (override fields as needed).
 inline trace::TraceConfig small_trace_config(std::uint64_t seed = 42) {

@@ -56,6 +56,24 @@ TEST(ScenarioConfig, EventfulConfigRoundTripsExactly) {
   EXPECT_EQ(back.to_string(), cfg.to_string());
 }
 
+TEST(ScenarioConfig, FederationKeysRoundTripExactly) {
+  const char* text =
+      "name=fleet seed=4 paths=2 rounds=12 fed_domains=5 fed_shards=4 "
+      "fed_backend=segment fed_segment_bytes=2048 fed_crash_every=4 "
+      "fed_torn_tail=1 fed_join_round=2 fed_lag_every=3";
+  const ScenarioConfig cfg = parse_scenario(text);
+  EXPECT_EQ(cfg.fed_domains, 5u);
+  EXPECT_EQ(cfg.fed_store_shards, 4u);
+  EXPECT_TRUE(cfg.fed_segment_backend);
+  EXPECT_EQ(cfg.fed_segment_bytes, 2048u);
+  EXPECT_EQ(cfg.fed_crash_every, 4u);
+  EXPECT_TRUE(cfg.fed_torn_tail);
+  EXPECT_EQ(cfg.fed_join_round, 2u);
+  EXPECT_EQ(cfg.fed_lag_every, 3u);
+  const ScenarioConfig back = parse_scenario(cfg.to_string());
+  EXPECT_EQ(back.to_string(), cfg.to_string());
+}
+
 TEST(ScenarioConfig, CommentsAndNewlinesAreOneGrammar) {
   const ScenarioConfig cfg = parse_scenario(
       "# a scenario file\n"

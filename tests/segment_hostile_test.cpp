@@ -1,0 +1,389 @@
+// Hostile-input hardening for the disk segment format (ISSUE 9): segment
+// files come back from a crash — or from an attacker with filesystem
+// access — so the recovery parser must treat them as untrusted bytes,
+// exactly like the receipt wire decoders treat theirs.  This suite
+// truncates a valid segment image at EVERY byte offset, flips every byte,
+// plants absurd length fields, and corrupts the cursor log — proving
+// strict scans raise typed net::WireError (transient for clean
+// truncation, fatal for structural damage), recovery scans truncate at
+// the exact record boundary, and nothing ever over-reads (the ASan+UBSan
+// CI job runs this suite, mirroring receipt_wire_hostile_test).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <vector>
+
+#include "dissem/envelope.hpp"
+#include "dissem/receipt_store.hpp"
+#include "dissem/segment_store.hpp"
+#include "helpers.hpp"
+#include "net/wire.hpp"
+
+namespace vpm {
+namespace {
+
+constexpr dissem::DomainId kProducer = 7;
+constexpr dissem::DomainKey kKey = 42;
+
+struct Image {
+  std::vector<std::byte> bytes;
+  std::vector<dissem::Envelope> envelopes;
+  /// Valid truncation points: the header end and every record end.
+  std::vector<std::size_t> boundaries;
+};
+
+Image make_image(std::size_t records = 5) {
+  net::ByteWriter w;
+  dissem::write_segment_header(kProducer, w);
+  Image img;
+  img.boundaries.push_back(dissem::kSegmentHeaderBytes);
+  const std::size_t payload_sizes[] = {1, 17, 64, 3, 129, 40, 8};
+  for (std::size_t i = 0; i < records; ++i) {
+    const std::size_t n = payload_sizes[i % std::size(payload_sizes)];
+    std::vector<std::byte> payload(n, std::byte{static_cast<unsigned char>(
+                                          0x30 + i)});
+    dissem::Envelope e = dissem::seal(kProducer, i + 1, payload, kKey);
+    dissem::append_segment_record(e, w);
+    img.envelopes.push_back(std::move(e));
+    img.boundaries.push_back(w.size());
+  }
+  img.bytes = std::move(w).take();
+  return img;
+}
+
+/// Largest valid boundary <= len.
+std::size_t boundary_before(const Image& img, std::size_t len) {
+  std::size_t best = img.boundaries.front();
+  for (const std::size_t b : img.boundaries) {
+    if (b <= len) best = b;
+  }
+  return best;
+}
+
+bool is_boundary(const Image& img, std::size_t len) {
+  for (const std::size_t b : img.boundaries) {
+    if (b == len) return true;
+  }
+  return false;
+}
+
+std::size_t records_through(const Image& img, std::size_t valid_bytes) {
+  std::size_t n = 0;
+  for (std::size_t i = 1; i < img.boundaries.size(); ++i) {
+    if (img.boundaries[i] <= valid_bytes) n = i;
+  }
+  return n;
+}
+
+// --- the clean image ------------------------------------------------------
+
+TEST(SegmentHostile, FullImageParsesExactly) {
+  const Image img = make_image();
+  for (const bool recover : {false, true}) {
+    const dissem::SegmentScan scan = dissem::scan_segment(img.bytes, recover);
+    EXPECT_EQ(scan.producer, kProducer);
+    EXPECT_FALSE(scan.torn);
+    EXPECT_EQ(scan.valid_bytes, img.bytes.size());
+    ASSERT_EQ(scan.records.size(), img.envelopes.size());
+    for (std::size_t i = 0; i < scan.records.size(); ++i) {
+      const dissem::SegmentRecordRef& r = scan.records[i];
+      EXPECT_EQ(r.sequence, img.envelopes[i].sequence);
+      ASSERT_LE(r.payload_offset + r.payload_size, img.bytes.size());
+      const std::span<const std::byte> payload(
+          img.bytes.data() + r.payload_offset, r.payload_size);
+      EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                             img.envelopes[i].payload.begin(),
+                             img.envelopes[i].payload.end()));
+      EXPECT_EQ(r.record_end, img.boundaries[i + 1]);
+    }
+  }
+}
+
+TEST(SegmentHostile, HeaderOnlyImageIsAValidEmptySegment) {
+  net::ByteWriter w;
+  dissem::write_segment_header(kProducer, w);
+  const std::vector<std::byte> bytes = std::move(w).take();
+  for (const bool recover : {false, true}) {
+    const dissem::SegmentScan scan = dissem::scan_segment(bytes, recover);
+    EXPECT_TRUE(scan.records.empty());
+    EXPECT_FALSE(scan.torn);
+    EXPECT_EQ(scan.valid_bytes, bytes.size());
+  }
+}
+
+// --- truncation at every byte offset --------------------------------------
+
+TEST(SegmentHostile, StrictTruncationAtEveryOffsetThrowsTransient) {
+  const Image img = make_image();
+  for (std::size_t len = 0; len < img.bytes.size(); ++len) {
+    const auto prefix = std::span<const std::byte>(img.bytes).first(len);
+    if (is_boundary(img, len)) {
+      // A prefix ending exactly at a record boundary IS a valid (shorter)
+      // segment file — strict mode accepts it whole.
+      const dissem::SegmentScan scan = dissem::scan_segment(prefix, false);
+      EXPECT_EQ(scan.valid_bytes, len) << "boundary length " << len;
+      EXPECT_EQ(scan.records.size(), records_through(img, len));
+      continue;
+    }
+    try {
+      (void)dissem::scan_segment(prefix, false);
+      FAIL() << "prefix length " << len << " must throw";
+    } catch (const net::WireError& e) {
+      // Clean truncation is retryable damage, never structural.
+      EXPECT_TRUE(e.transient()) << "prefix length " << len;
+    }
+  }
+}
+
+TEST(SegmentHostile, RecoveryTruncationAtEveryOffsetKeepsTheExactPrefix) {
+  const Image img = make_image();
+  for (std::size_t len = dissem::kSegmentHeaderBytes; len < img.bytes.size();
+       ++len) {
+    const auto prefix = std::span<const std::byte>(img.bytes).first(len);
+    const dissem::SegmentScan scan = dissem::scan_segment(prefix, true);
+    const std::size_t keep = boundary_before(img, len);
+    EXPECT_EQ(scan.valid_bytes, keep) << "prefix length " << len;
+    EXPECT_EQ(scan.torn, keep != len) << "prefix length " << len;
+    EXPECT_EQ(scan.records.size(), records_through(img, keep))
+        << "prefix length " << len;
+  }
+  // Below the header both modes throw: the file is not a segment at all.
+  for (std::size_t len = 0; len < dissem::kSegmentHeaderBytes; ++len) {
+    const auto prefix = std::span<const std::byte>(img.bytes).first(len);
+    EXPECT_THROW((void)dissem::scan_segment(prefix, true), net::WireError)
+        << "prefix length " << len;
+  }
+}
+
+// --- single-byte corruption -----------------------------------------------
+
+TEST(SegmentHostile, SingleByteCorruptionNeverOverReads) {
+  const Image img = make_image();
+  for (std::size_t i = 0; i < img.bytes.size(); ++i) {
+    std::vector<std::byte> mutated = img.bytes;
+    mutated[i] ^= std::byte{0xFF};
+    // Strict: throw or parse — never crash or read past the buffer.
+    try {
+      (void)dissem::scan_segment(mutated, false);
+    } catch (const net::WireError&) {
+    }
+    // Recovery: magic/version damage throws (not a segment file); a
+    // flipped producer field or record damage stops the scan instead.
+    if (i < 5) {  // magic u32 + version u8
+      EXPECT_THROW((void)dissem::scan_segment(mutated, true), net::WireError)
+          << "header byte " << i;
+    } else if (i < dissem::kSegmentHeaderBytes) {
+      // Producer field: every record now "belongs to a foreign producer".
+      const dissem::SegmentScan scan = dissem::scan_segment(mutated, true);
+      EXPECT_TRUE(scan.torn) << "producer byte " << i;
+      EXPECT_TRUE(scan.records.empty());
+    } else {
+      const dissem::SegmentScan scan = dissem::scan_segment(mutated, true);
+      EXPECT_LE(scan.valid_bytes, mutated.size()) << "byte " << i;
+      EXPECT_GE(scan.valid_bytes, dissem::kSegmentHeaderBytes);
+    }
+  }
+}
+
+TEST(SegmentHostile, ChecksumFlipIsFatalStrictAndTruncatesRecovery) {
+  const Image img = make_image();
+  // Corrupt the CRC of the middle record (its last 4 bytes).
+  const std::size_t victim = img.envelopes.size() / 2;
+  const std::size_t crc_at = img.boundaries[victim + 1] - 4;
+  for (std::size_t i = crc_at; i < crc_at + 4; ++i) {
+    std::vector<std::byte> mutated = img.bytes;
+    mutated[i] ^= std::byte{0x01};
+    try {
+      (void)dissem::scan_segment(mutated, false);
+      FAIL() << "corrupt CRC byte " << i << " must throw";
+    } catch (const net::WireError& e) {
+      EXPECT_FALSE(e.transient()) << "CRC damage is structural";
+    }
+    const dissem::SegmentScan scan = dissem::scan_segment(mutated, true);
+    EXPECT_TRUE(scan.torn);
+    EXPECT_EQ(scan.valid_bytes, img.boundaries[victim]);
+    EXPECT_EQ(scan.records.size(), victim);
+  }
+}
+
+TEST(SegmentHostile, PayloadFlipIsCaughtByTheChecksum) {
+  const Image img = make_image();
+  // Flip the first record's payload byte (len u32 + 17-byte envelope
+  // prefix puts it right here): CRC mismatch, fatal.
+  const std::size_t at = img.boundaries[0] + 4 + 17;
+  std::vector<std::byte> mutated = img.bytes;
+  mutated[at] ^= std::byte{0x80};
+  try {
+    (void)dissem::scan_segment(mutated, false);
+    FAIL() << "payload flip must throw";
+  } catch (const net::WireError& e) {
+    EXPECT_FALSE(e.transient());
+  }
+  const dissem::SegmentScan scan = dissem::scan_segment(mutated, true);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_EQ(scan.valid_bytes, img.boundaries.front());
+  EXPECT_TRUE(scan.records.empty());
+}
+
+// --- absurd lengths -------------------------------------------------------
+
+TEST(SegmentHostile, AbsurdLengthFieldsAreRejectedBeforeAnyRead) {
+  for (const std::uint32_t len :
+       {std::uint32_t{0}, dissem::kMaxSegmentRecordBytes + 1, 0xFFFFFFFFu}) {
+    net::ByteWriter w;
+    dissem::write_segment_header(kProducer, w);
+    w.u32(len);
+    // A few garbage bytes — far fewer than the claimed length.  The scan
+    // must bound-check the length BEFORE allocating or reading.
+    w.u32(0xDEADBEEF);
+    const std::vector<std::byte> bytes = std::move(w).take();
+    try {
+      (void)dissem::scan_segment(bytes, false);
+      FAIL() << "length " << len << " must throw";
+    } catch (const net::WireError& e) {
+      EXPECT_FALSE(e.transient()) << "absurd length is structural damage";
+    }
+    const dissem::SegmentScan scan = dissem::scan_segment(bytes, true);
+    EXPECT_TRUE(scan.torn);
+    EXPECT_EQ(scan.valid_bytes, dissem::kSegmentHeaderBytes);
+    EXPECT_TRUE(scan.records.empty());
+  }
+}
+
+TEST(SegmentHostile, OversizedButLegalLengthIsTornNotFatal) {
+  // A length within bounds but past the remaining bytes is a torn write
+  // (the crash interrupted the append) — transient in strict mode.
+  const Image img = make_image(2);
+  std::vector<std::byte> mutated = img.bytes;
+  const std::size_t len_at = img.boundaries[0];
+  const std::uint32_t claim = dissem::kMaxSegmentRecordBytes - 1;
+  mutated[len_at + 0] = std::byte{static_cast<unsigned char>(claim)};
+  mutated[len_at + 1] = std::byte{static_cast<unsigned char>(claim >> 8)};
+  mutated[len_at + 2] = std::byte{static_cast<unsigned char>(claim >> 16)};
+  mutated[len_at + 3] = std::byte{static_cast<unsigned char>(claim >> 24)};
+  try {
+    (void)dissem::scan_segment(mutated, false);
+    FAIL() << "torn body must throw";
+  } catch (const net::WireError& e) {
+    EXPECT_TRUE(e.transient());
+  }
+  const dissem::SegmentScan scan = dissem::scan_segment(mutated, true);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_EQ(scan.valid_bytes, dissem::kSegmentHeaderBytes);
+}
+
+// --- header damage --------------------------------------------------------
+
+TEST(SegmentHostile, MagicAndVersionDamageIsFatalInBothModes) {
+  const Image img = make_image(1);
+  for (std::size_t i = 0; i < 5; ++i) {  // magic u32 + version u8
+    std::vector<std::byte> mutated = img.bytes;
+    mutated[i] ^= std::byte{0xFF};
+    for (const bool recover : {false, true}) {
+      try {
+        (void)dissem::scan_segment(mutated, recover);
+        FAIL() << "header byte " << i << " recover=" << recover;
+      } catch (const net::WireError& e) {
+        EXPECT_FALSE(e.transient()) << "a wrong magic is not retryable";
+      }
+    }
+  }
+}
+
+TEST(SegmentHostile, RecordFromAForeignProducerIsStructuralDamage) {
+  // Valid CRC, valid envelope — but sealed by a different producer than
+  // the file header claims.  That is filesystem-level tampering.
+  net::ByteWriter w;
+  dissem::write_segment_header(kProducer, w);
+  dissem::append_segment_record(
+      dissem::seal(kProducer + 1, 1, std::vector<std::byte>(9, std::byte{1}),
+                   kKey),
+      w);
+  const std::vector<std::byte> bytes = std::move(w).take();
+  try {
+    (void)dissem::scan_segment(bytes, false);
+    FAIL() << "foreign producer must throw";
+  } catch (const net::WireError& e) {
+    EXPECT_FALSE(e.transient());
+  }
+  const dissem::SegmentScan scan = dissem::scan_segment(bytes, true);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+// --- the cursor log -------------------------------------------------------
+
+TEST(SegmentHostile, TornCursorLogRecoversTheDurablePrefix) {
+  test::TempDir tmp("seg-hostile-cursor");
+  dissem::SegmentStoreConfig cfg;
+  cfg.directory = tmp.path();
+  const auto seal_seq = [&](std::uint64_t seq) {
+    return dissem::seal(kProducer, seq, std::vector<std::byte>(21, std::byte{2}),
+                        kKey);
+  };
+  {
+    dissem::ReceiptStore store(dissem::make_segment_storage(cfg));
+    store.register_producer(kProducer, kKey);
+    store.register_consumer("c");
+    for (std::uint64_t s = 1; s <= 8; ++s) {
+      ASSERT_EQ(store.ingest(seal_seq(s)), dissem::IngestResult::kAccepted);
+    }
+    ASSERT_EQ(store.ack("c", kProducer, 5), dissem::AckResult::kAcked);
+  }
+  // Tear bytes off the cursor log: the trailing ack record is damaged and
+  // must be dropped; the registration prefix survives.
+  const std::filesystem::path log = tmp.path() / "cursors.log";
+  ASSERT_TRUE(std::filesystem::exists(log));
+  const std::uintmax_t size = std::filesystem::file_size(log);
+  ASSERT_GT(size, 3u);
+  std::filesystem::resize_file(log, size - 3);
+  {
+    dissem::ReceiptStore store(dissem::make_segment_storage(cfg));
+    store.register_producer(kProducer, kKey);
+    // The torn record was the ack: the consumer rewinds to an earlier
+    // cursor (at-least-once is the durable guarantee) but stays
+    // registered, and re-acking works.
+    EXPECT_LT(store.cursor("c", kProducer), 5u);
+    EXPECT_EQ(store.ack("c", kProducer, 5), dissem::AckResult::kAcked);
+    EXPECT_EQ(store.cursor("c", kProducer), 5u);
+  }
+}
+
+TEST(SegmentHostile, CorruptCursorLogMidRecordDropsTheDamagedSuffix) {
+  test::TempDir tmp("seg-hostile-cursor2");
+  dissem::SegmentStoreConfig cfg;
+  cfg.directory = tmp.path();
+  {
+    dissem::ReceiptStore store(dissem::make_segment_storage(cfg));
+    store.register_producer(kProducer, kKey);
+    store.register_consumer("a");
+    store.register_consumer("b");
+  }
+  const std::filesystem::path log = tmp.path() / "cursors.log";
+  std::vector<char> raw;
+  {
+    std::ifstream in(log, std::ios::binary);
+    raw.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_GT(raw.size(), 8u);
+  // Flip a byte inside the LAST record ("b"'s registration): its CRC
+  // fails, recovery truncates, "a" survives.
+  raw[raw.size() - 2] ^= 0x55;
+  {
+    std::ofstream out(log, std::ios::binary | std::ios::trunc);
+    out.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+  }
+  {
+    dissem::ReceiptStore store(dissem::make_segment_storage(cfg));
+    store.register_producer(kProducer, kKey);
+    EXPECT_NO_THROW((void)store.cursor("a", kProducer));
+    EXPECT_THROW((void)store.cursor("b", kProducer), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace vpm

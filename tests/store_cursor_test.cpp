@@ -87,6 +87,32 @@ TEST(StoreCursor, AckValidation) {
   EXPECT_EQ(fetch_sequences(gappy, "v"), (std::vector<std::uint64_t>{5}));
 }
 
+TEST(StoreCursor, AckLagCountsRetainedAfterItsOwnCollection) {
+  // The lag an ack reports is the backlog the consumer still has to work
+  // through — computed AFTER the collection this very ack triggered, and
+  // always equal to a fresh consumer_lag() call.  (It used to count the
+  // pre-GC retained set, over-reporting by the envelopes just erased.)
+  ReceiptStore store = store_with(6);
+  store.register_consumer("v");
+
+  const AckOutcome out = store.ack("v", kProducer, 4);
+  ASSERT_EQ(out, AckResult::kAcked);
+  EXPECT_EQ(store.stored_envelopes(), 2u) << "1..4 collected by this ack";
+  EXPECT_EQ(out.consumer_lag, 2u) << "lag must not count what it erased";
+  EXPECT_EQ(out.consumer_lag, store.consumer_lag("v", kProducer));
+
+  // With a second gating consumer holding the floor down, the ack erases
+  // nothing — lag is still the post-collection (== unchanged) count.
+  store.register_consumer("slow");
+  ASSERT_EQ(store.ingest(seal(kProducer, 7, payload(4), kKey)),
+            IngestResult::kAccepted);
+  const AckOutcome ahead = store.ack("v", kProducer, 7);
+  ASSERT_EQ(ahead, AckResult::kAcked);
+  EXPECT_EQ(ahead.consumer_lag, 0u);
+  EXPECT_EQ(store.consumer_lag("slow", kProducer), 3u);
+  EXPECT_EQ(store.stored_envelopes(), 3u) << "\"slow\" still gates 5..7";
+}
+
 TEST(StoreCursor, GcFiresOnlyAfterAllConsumersAck) {
   ReceiptStore store = store_with(3);
   store.register_consumer("fast");
