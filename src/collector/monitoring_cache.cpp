@@ -167,7 +167,17 @@ std::size_t MonitoringCache::observe(const net::Packet& p,
   ops_.hash_computations += 1;
   ops_.timestamp_reads += 1;
   ops_.marker_sweep_accesses += swept;
+  sync_kernel_counters();
   return path;
+}
+
+void MonitoringCache::sync_kernel_counters() noexcept {
+  // The sweep kernels count invocations on the SoA block (the one
+  // accounting point the facades share); mirror the absolute values into
+  // the DataPlaneOps snapshot.  Assignment, not +=, so per-shard ops still
+  // merge correctly by addition.
+  ops_.sweep_kernel_scalar = state_.sweep_kernels.scalar;
+  ops_.sweep_kernel_avx2 = state_.sweep_kernels.avx2;
 }
 
 void MonitoringCache::observe_batch_impl(std::span<const net::Packet> packets,
@@ -273,6 +283,7 @@ void MonitoringCache::observe_batch_impl(std::span<const net::Packet> packets,
       const core::TimedDigest* ring = state_.ring_arena.data();
       const std::int64_t max_age_ns =
           state_.params.marker_max_age.nanoseconds();
+      const std::uint32_t marker_thr = state_.params.marker_threshold;
       for (std::size_t j = 0; j < m; ++j) {
         const std::size_t i = known_cur[j];
         const core::PathSlot& sl = slots[path_cur[i]];
@@ -281,15 +292,22 @@ void MonitoringCache::observe_batch_impl(std::span<const net::Packet> packets,
           // Slice head: the time-keyed marker rule reads buf[0] every
           // packet, and sweeps walk the slice from the front.
           __builtin_prefetch(buf + sl.warm.buf_begin, 0);
-          // Sweep-imminent: when even the NEWEST buffered record (stamped
-          // last_at_ns or later) has outlived marker_max_age, this packet
-          // sweeps the whole slice — pull in the middle lines the two end
-          // prefetches above don't cover.
-          if (max_age_ns > 0 && sl.hot.buf_size > 8) {
-            const std::int64_t now_ns =
-                (use_origin_time ? p[i].origin_time : when[base + i])
-                    .nanoseconds();
-            if (now_ns - sl.hot.last_at_ns >= max_age_ns) {
+          // Sweep-imminent: this packet sweeps the whole slice when its
+          // digest already decided it is a marker (dec_cur is computed a
+          // chunk ahead of the kernel pass), or when even the NEWEST
+          // buffered record (stamped last_at_ns or later) has outlived
+          // marker_max_age — pull in the middle lines the two end
+          // prefetches above don't cover, so the 8-wide sweep kernel
+          // streams warm lines.
+          if (sl.hot.buf_size > 8) {
+            bool sweeps = dec_cur[j].marker_value > marker_thr;
+            if (!sweeps && max_age_ns > 0) {
+              const std::int64_t now_ns =
+                  (use_origin_time ? p[i].origin_time : when[base + i])
+                      .nanoseconds();
+              sweeps = now_ns - sl.hot.last_at_ns >= max_age_ns;
+            }
+            if (sweeps) {
               constexpr std::size_t kPerLine =
                   64 / sizeof(core::TimedDigest);
               for (std::size_t r = kPerLine; r < sl.hot.buf_size;
@@ -331,6 +349,7 @@ void MonitoringCache::observe_batch_impl(std::span<const net::Packet> packets,
   ops_.hash_computations += observed;
   ops_.timestamp_reads += observed;
   ops_.marker_sweep_accesses += swept;
+  sync_kernel_counters();
 }
 
 void MonitoringCache::observe_batch(std::span<const net::Packet> packets,
@@ -414,9 +433,13 @@ MonitoringCache::DecayResult MonitoringCache::run_decay_pass() {
         core::path_decay(state_, p, lifecycle_.decay_low_occupancy_drains);
     r.halved_slices += d.halved_slices;
     r.released_bytes += d.released_bytes;
+    r.halved_emitted += d.halved_emitted;
+    r.released_emitted_bytes += d.released_emitted_bytes;
   }
   lifecycle_totals_.decayed_slices += r.halved_slices;
   lifecycle_totals_.decayed_arena_bytes += r.released_bytes;
+  lifecycle_totals_.decayed_emitted_vectors += r.halved_emitted;
+  lifecycle_totals_.decayed_emitted_bytes += r.released_emitted_bytes;
   return r;
 }
 
@@ -452,6 +475,8 @@ LifecycleReport MonitoringCache::run_lifecycle(net::Timestamp now,
   const DecayResult d = run_decay_pass();
   report.decayed_slices += d.halved_slices;
   report.decayed_arena_bytes += d.released_bytes;
+  report.decayed_emitted_vectors += d.halved_emitted;
+  report.decayed_emitted_bytes += d.released_emitted_bytes;
   if (compaction_due()) {
     report.reclaimed_arena_bytes += compact_arenas();
     ++report.compactions;
@@ -469,6 +494,10 @@ std::size_t MonitoringCache::modeled_temp_buffer_bytes() const noexcept {
 
 std::size_t MonitoringCache::temp_buffer_peak_records() const noexcept {
   return state_.buffer_peak_records();
+}
+
+std::size_t MonitoringCache::emitted_peak_records() const noexcept {
+  return state_.emitted_peak_records();
 }
 
 }  // namespace vpm::collector

@@ -164,6 +164,11 @@ struct DataPlaneOps {
   /// Temp-buffer records evaluated at marker sweeps (the deferred
   /// per-packet access the paper folds into "one more memory access").
   std::uint64_t marker_sweep_accesses = 0;
+  /// Marker-sweep kernel invocations by SIMD tier (one per marker that
+  /// swept a non-empty buffer; mirrors PathStateSoA::sweep_kernels so the
+  /// §7.1 report can show which tier the protocol kernels actually ran).
+  std::uint64_t sweep_kernel_scalar = 0;
+  std::uint64_t sweep_kernel_avx2 = 0;
 
   /// Counters are plain per-packet sums, so per-shard instances merge by
   /// addition (the sharded collector reports one fused DataPlaneOps).
@@ -172,6 +177,8 @@ struct DataPlaneOps {
     hash_computations += o.hash_computations;
     timestamp_reads += o.timestamp_reads;
     marker_sweep_accesses += o.marker_sweep_accesses;
+    sweep_kernel_scalar += o.sweep_kernel_scalar;
+    sweep_kernel_avx2 += o.sweep_kernel_avx2;
     return *this;
   }
 };
@@ -212,6 +219,10 @@ struct LifecycleReport {
   /// released to garbage.
   std::size_t decayed_slices = 0;
   std::size_t decayed_arena_bytes = 0;
+  /// Emitted-sample capacity decay (heap freed directly, not arena
+  /// garbage — drains retain emitted capacity since PR 10).
+  std::size_t decayed_emitted_vectors = 0;
+  std::size_t decayed_emitted_bytes = 0;
 
   LifecycleReport& operator+=(const LifecycleReport& o) noexcept {
     evicted_paths += o.evicted_paths;
@@ -220,6 +231,8 @@ struct LifecycleReport {
     reclaimed_arena_bytes += o.reclaimed_arena_bytes;
     decayed_slices += o.decayed_slices;
     decayed_arena_bytes += o.decayed_arena_bytes;
+    decayed_emitted_vectors += o.decayed_emitted_vectors;
+    decayed_emitted_bytes += o.decayed_emitted_bytes;
     return *this;
   }
 };
@@ -299,6 +312,8 @@ class MonitoringCache {
   struct DecayResult {
     std::size_t halved_slices = 0;
     std::size_t released_bytes = 0;
+    std::size_t halved_emitted = 0;
+    std::size_t released_emitted_bytes = 0;
   };
   DecayResult run_decay_pass();
 
@@ -336,6 +351,10 @@ class MonitoringCache {
   [[nodiscard]] std::size_t modeled_temp_buffer_bytes() const noexcept;
   /// High-water mark of the temp buffer across all paths (records).
   [[nodiscard]] std::size_t temp_buffer_peak_records() const noexcept;
+  /// Largest undrained-sample backlog any single path has reached
+  /// (records) — bounds the emitted capacity a live path retains across
+  /// drains (core::PathStateSoA::emitted_peak_records).
+  [[nodiscard]] std::size_t emitted_peak_records() const noexcept;
 
   /// The SoA block itself, for introspection (benchmarks, tests).
   [[nodiscard]] const core::PathStateSoA& state() const noexcept {
@@ -358,6 +377,8 @@ class MonitoringCache {
   /// Shared batch loop; an empty `when` means "each packet's origin_time".
   void observe_batch_impl(std::span<const net::Packet> packets,
                           std::span<const net::Timestamp> when);
+  /// Mirror the SoA sweep-kernel counters into ops_ (absolute snapshot).
+  void sync_kernel_counters() noexcept;
 
   PathClassifier classifier_;
   net::DigestEngine engine_;

@@ -417,6 +417,8 @@ LifecycleReport ShardedCollector::run_lifecycle(net::Timestamp now,
     const MonitoringCache::DecayResult d = shard.cache->run_decay_pass();
     report.decayed_slices += d.halved_slices;
     report.decayed_arena_bytes += d.released_bytes;
+    report.decayed_emitted_vectors += d.halved_emitted;
+    report.decayed_emitted_bytes += d.released_emitted_bytes;
   }
   for (Shard& shard : shards_) {
     if (shard.cache && shard.cache->compaction_due()) {

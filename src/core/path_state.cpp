@@ -1,8 +1,13 @@
 #include "core/path_state.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 #include <string>
+
+#include "net/sample_batch.hpp"
+#include "net/simd_dispatch.hpp"
+#include "net/window_batch.hpp"
 
 namespace vpm::core {
 namespace {
@@ -14,6 +19,32 @@ namespace {
 constexpr std::uint32_t kBufInitialCap = 16;
 /// First J-ring slice (records, power of two).
 constexpr std::uint32_t kRingInitialCap = 8;
+/// Emitted-sample capacity floor for path_decay (records) — small enough
+/// that a quiet path pins almost nothing, large enough that a typical
+/// reporting round (a handful of samples + markers) never reallocates.
+constexpr std::size_t kEmittedDecayFloor = 16;
+
+// The batch kernels walk buffered/ring records as raw strided bytes:
+// uint32 digest in the first four bytes, int64 nanosecond timestamp at
+// byte offset 8 (qword-aligned for the AVX2 time gathers).
+static_assert(sizeof(TimedDigest) == 16);
+static_assert(alignof(TimedDigest) == 8);
+static_assert(std::is_trivially_copyable_v<TimedDigest>);
+static_assert(offsetof(TimedDigest, id) == 0);
+static_assert(offsetof(TimedDigest, time) == 8);
+constexpr std::size_t kTimedDigestTimeOff = 8;
+
+inline const std::byte* bytes_of(const TimedDigest* records) noexcept {
+  return reinterpret_cast<const std::byte*>(records);
+}
+
+/// True when the AVX2 kernels should run: the dispatch shim's active tier
+/// (force hook -> VPM_SIMD -> cpuid) resolved to kAvx2 AND this binary
+/// actually carries the kernels.  Checked once per sweep/cut, not per
+/// record.
+inline bool avx2_kernels_active() noexcept {
+  return net::simd::active_tier() == net::simd::Tier::kAvx2;
+}
 
 /// Slice offsets and capacities are stored as 32-bit record indices
 /// (PathWarm).  An arena past 2^32 records (~69 GB) would silently wrap
@@ -76,16 +107,54 @@ void grow_ring(PathStateSoA& s, std::size_t path) {
 /// Move pending aggregates whose AggTrans window is complete (now is J
 /// past their boundary) to the closed list, preserving relative order in
 /// both groups (the pre-refactor stable_partition semantics).
+///
+/// The keep decision (`boundary + J >= now`, computed as
+/// `boundary >= now - J` so both tiers share one predicate) runs through
+/// the branchless time-mask kernel in blocks; the partition then walks
+/// the mask bits.  Moves only ever go from i down to keep <= i, so
+/// masking a block before moving within it is safe — sources ahead of the
+/// cursor are untouched.
 void finalize_due(PathStateSoA& s, std::size_t path, net::Timestamp now) {
   auto& pending = s.pending[path];
   auto& closed = s.closed[path];
+  const std::size_t n = pending.size();
+  const std::int64_t cutoff =
+      now.nanoseconds() - s.params.j_window.nanoseconds();
+  static_assert(sizeof(PendingAggregate) % 8 == 0);
+  const std::size_t stride = sizeof(PendingAggregate);
+  // offsetof on a type with vector members is conditionally supported, so
+  // derive the boundary offset from a live object instead.
+  const std::byte* base = reinterpret_cast<const std::byte*>(pending.data());
+  const std::size_t boundary_off =
+      n == 0 ? 0
+             : static_cast<std::size_t>(
+                   reinterpret_cast<const std::byte*>(&pending[0].boundary) -
+                   base);
+
+  static const net::detail::TimeGeMaskFn avx2 =
+      net::detail::time_ge_mask_avx2();
+  const bool use_avx2 =
+      avx2 != nullptr && avx2_kernels_active() && boundary_off % 8 == 0;
+
+  constexpr std::size_t kBlock = 512;  // 8 mask words on the stack
+  std::uint64_t mask[kBlock / 64];
   std::size_t keep = 0;
-  for (std::size_t i = 0; i < pending.size(); ++i) {
-    if (pending[i].boundary + s.params.j_window >= now) {
-      if (keep != i) pending[keep] = std::move(pending[i]);
-      ++keep;
+  for (std::size_t b = 0; b < n; b += kBlock) {
+    const std::size_t bn = std::min(kBlock, n - b);
+    if (use_avx2) {
+      avx2(base + b * stride, stride, boundary_off, bn, cutoff, mask);
     } else {
-      closed.push_back(std::move(pending[i].data));
+      net::detail::time_ge_mask_scalar(base + b * stride, stride,
+                                       boundary_off, bn, cutoff, mask);
+    }
+    for (std::size_t j = 0; j < bn; ++j) {
+      const std::size_t i = b + j;
+      if ((mask[j >> 6] >> (j & 63)) & 1u) {
+        if (keep != i) pending[keep] = std::move(pending[i]);
+        ++keep;
+      } else {
+        closed.push_back(std::move(pending[i].data));
+      }
     }
   }
   pending.resize(keep);
@@ -111,24 +180,47 @@ std::size_t path_observe_sampler(PathStateSoA& s, std::size_t path,
 
   if (forced_marker || d.marker_value > s.params.marker_threshold) {
     // Algorithm 1, lines 1-6: the marker decides the fate of everything
-    // buffered since the previous marker.
+    // buffered since the previous marker.  The sample_value evaluations
+    // run through the sweep-select kernel (8-wide on the AVX2 tier) in
+    // chunks; survivors append as one bulk write per chunk instead of
+    // per-record push_backs.
     PathStats& st = s.stats[path];
     ++st.markers;
     const std::size_t swept = slot.hot.buf_size;
     st.swept += swept;
     st.buffer_peak = std::max<std::uint64_t>(st.buffer_peak, swept);
-    const TimedDigest* buf = s.buf_arena.data() + slot.warm.buf_begin;
     auto& emitted = s.emitted[path];
-    for (std::size_t i = 0; i < swept; ++i) {
-      if (net::DigestEngine::sample_value(buf[i].id, d.id) >
-          s.params.sample_threshold) {
-        emitted.push_back(SampleRecord{
-            .pkt_id = buf[i].id, .time = buf[i].time, .is_marker = false});
+    if (swept != 0) {
+      static const net::detail::SweepSelectFn avx2 =
+          net::detail::sweep_select_avx2();
+      const bool use_avx2 = avx2 != nullptr && avx2_kernels_active();
+      (use_avx2 ? s.sweep_kernels.avx2 : s.sweep_kernels.scalar) += 1;
+      const TimedDigest* buf = s.buf_arena.data() + slot.warm.buf_begin;
+      constexpr std::size_t kSweepChunk = 512;
+      std::uint32_t idx[kSweepChunk];
+      for (std::size_t chunk = 0; chunk < swept; chunk += kSweepChunk) {
+        const std::size_t cn = std::min(kSweepChunk, swept - chunk);
+        const std::size_t m =
+            use_avx2 ? avx2(bytes_of(buf + chunk), sizeof(TimedDigest), cn,
+                            d.id, s.params.sample_threshold, idx)
+                     : net::detail::sweep_select_scalar(
+                           bytes_of(buf + chunk), sizeof(TimedDigest), cn,
+                           d.id, s.params.sample_threshold, idx);
+        const std::size_t old = emitted.size();
+        emitted.resize(old + m);
+        SampleRecord* dst = emitted.data() + old;
+        for (std::size_t j = 0; j < m; ++j) {
+          const TimedDigest& r = buf[chunk + idx[j]];
+          dst[j] = SampleRecord{
+              .pkt_id = r.id, .time = r.time, .is_marker = false};
+        }
       }
+      slot.hot.buf_size = 0;
     }
-    slot.hot.buf_size = 0;
     emitted.push_back(
         SampleRecord{.pkt_id = d.id, .time = when, .is_marker = true});
+    st.emitted_peak = std::max<std::uint64_t>(st.emitted_peak,
+                                              emitted.size());
     return swept;
   }
 
@@ -163,15 +255,33 @@ void path_observe_aggregator(PathStateSoA& s, std::size_t path,
       pend.data.packet_count = slot.hot.agg_count;
       pend.data.opened_at = net::Timestamp{slot.warm.opened_at_ns};
       pend.data.closed_at = net::Timestamp{slot.hot.last_at_ns};
-      pend.data.trans.before.reserve(slot.hot.ring_size);
+      // The J-ring occupies at most two linear segments; run the
+      // window-collect kernel (masked 8-wide time compares +
+      // compress-store on the AVX2 tier) over each.  The keep predicate
+      // is the scalar `r.time + J >= when` rearranged to
+      // `r.time >= when - J` so both tiers compare identically.
       const TimedDigest* ring = s.ring_arena.data() + slot.warm.ring_begin;
       const std::uint32_t mask = slot.warm.ring_cap - 1;  // ring_size > 0
-      for (std::uint32_t i = 0; i < slot.hot.ring_size; ++i) {
-        const TimedDigest& r = ring[(slot.hot.ring_head + i) & mask];
-        if (r.time + s.params.j_window >= when) {
-          pend.data.trans.before.push_back(r.id);
-        }
-      }
+      const std::uint32_t head = slot.hot.ring_head & mask;
+      const std::uint32_t first =
+          std::min(slot.hot.ring_size, slot.warm.ring_cap - head);
+      const std::int64_t cutoff =
+          when.nanoseconds() - s.params.j_window.nanoseconds();
+      static const net::detail::WindowCollectFn avx2 =
+          net::detail::window_collect_avx2();
+      const net::detail::WindowCollectFn collect =
+          (avx2 != nullptr && avx2_kernels_active())
+              ? avx2
+              : &net::detail::window_collect_scalar;
+      auto& before = pend.data.trans.before;
+      before.resize(slot.hot.ring_size);
+      std::size_t kept = collect(bytes_of(ring + head), sizeof(TimedDigest),
+                                 kTimedDigestTimeOff, first, cutoff,
+                                 before.data());
+      kept += collect(bytes_of(ring), sizeof(TimedDigest),
+                      kTimedDigestTimeOff, slot.hot.ring_size - first, cutoff,
+                      before.data() + kept);
+      before.resize(kept);
       // The trailing window is roughly symmetric to the leading one.
       pend.data.trans.after.reserve(pend.data.trans.before.size() + 1);
       s.pending[path].push_back(std::move(pend));
@@ -237,8 +347,15 @@ void path_observe_aggregator(PathStateSoA& s, std::size_t path,
 
 std::vector<SampleRecord> path_take_samples(PathStateSoA& s,
                                             std::size_t path) {
-  std::vector<SampleRecord> out;
-  out.swap(s.emitted[path]);
+  // Copy-and-clear rather than swap: a busy path re-fills this vector
+  // every reporting round, and the old swap-release forced it to re-grow
+  // from zero through the allocator each time (malloc + doubling copies
+  // inside the data-plane sweep).  The retained capacity is bounded by
+  // the path's actual backlog peak (stats.emitted_peak), decays when the
+  // path quiets down (path_decay) and is fully released at eviction.
+  auto& e = s.emitted[path];
+  std::vector<SampleRecord> out(e.begin(), e.end());
+  e.clear();
   return out;
 }
 
@@ -376,6 +493,30 @@ PathDecay path_decay(PathStateSoA& s, std::size_t path,
     }
   } else {
     st.ring_low_streak = 0;
+  }
+
+  // Emitted-sample capacity (retained across drains by path_take_samples):
+  // same quarter-occupancy/streak rule.  This is ordinary heap, not arena
+  // space, so the halving reallocates immediately instead of leaving
+  // garbage for compaction — reported in the separate emitted fields.
+  auto& emitted = s.emitted[path];
+  if (emitted.capacity() > kEmittedDecayFloor &&
+      emitted.size() * 4 < emitted.capacity()) {
+    if (++st.emitted_low_streak >= low_streak) {
+      const std::size_t old_cap = emitted.capacity();
+      std::vector<SampleRecord> shrunk;
+      shrunk.reserve(std::max(old_cap / 2, kEmittedDecayFloor));
+      shrunk.insert(shrunk.end(), emitted.begin(), emitted.end());
+      emitted.swap(shrunk);
+      st.emitted_low_streak = 0;
+      ++out.halved_emitted;
+      if (old_cap > emitted.capacity()) {
+        out.released_emitted_bytes +=
+            (old_cap - emitted.capacity()) * sizeof(SampleRecord);
+      }
+    }
+  } else {
+    st.emitted_low_streak = 0;
   }
   return out;
 }

@@ -125,11 +125,18 @@ struct PathStats {
   /// was never resolved by a marker) — keeps the observed-packet
   /// derivation honest across evictions.
   std::uint64_t dropped_buffered = 0;
+  /// Undrained-sample high-water mark: the largest emitted[path].size()
+  /// reached (updated at sweeps, the only place samples are emitted) —
+  /// with capacity-retaining drains this bounds the per-path sample
+  /// capacity a live path can pin (see emitted_peak_records).
+  std::uint64_t emitted_peak = 0;
   /// Consecutive lifecycle passes the temp buffer / J-ring spent below a
   /// quarter of capacity — path_decay's trigger state, reset by any busy
   /// pass and after each halving.  Touched only at lifecycle passes.
   std::uint32_t buf_low_streak = 0;
   std::uint32_t ring_low_streak = 0;
+  /// Same trigger state for the emitted-sample vector's retained capacity.
+  std::uint32_t emitted_low_streak = 0;
 };
 
 /// A closed aggregate before PathId stamping (the HopMonitor /
@@ -160,9 +167,19 @@ struct PathStateSoA {
         pending(path_count),
         closed(path_count) {}
 
+  /// Marker-sweep kernel invocations by SIMD tier (one count per marker
+  /// that swept a non-empty buffer; §7.1 observability, receipt-invisible).
+  /// Lives on the SoA block so the facades and the monitoring cache share
+  /// one accounting point with the kernels.
+  struct SweepKernelCounters {
+    std::uint64_t scalar = 0;
+    std::uint64_t avx2 = 0;
+  };
+
   PathParams params;
   std::vector<PathSlot> slots;
   std::vector<PathStats> stats;
+  SweepKernelCounters sweep_kernels;
   /// Shared arenas holding every path's temp-buffer / J-ring slice.  A
   /// slice that outgrows its capacity relocates to the arena tail
   /// (doubling); the abandoned slice is bounded garbage — geometric
@@ -226,6 +243,20 @@ struct PathStateSoA {
     return std::max<std::size_t>(stats[path].buffer_peak,
                                  slots[path].hot.buf_size);
   }
+  /// Largest undrained-sample backlog any single path has reached
+  /// (records).  Drains retain emitted capacity (path_take_samples), so
+  /// this is the figure that proves the retained heap stays bounded by
+  /// actual backlog rather than ratcheting: retained capacity per path
+  /// never exceeds ~2x its peak (vector doubling) until decay or eviction
+  /// releases it.
+  [[nodiscard]] std::size_t emitted_peak_records() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t p = 0; p < slots.size(); ++p) {
+      n = std::max<std::size_t>(
+          n, std::max<std::size_t>(stats[p].emitted_peak, emitted[p].size()));
+    }
+    return n;
+  }
   /// One path's observed-packet count, reconstructed from marker-time
   /// counters (every packet is either buffered, a marker, or was dropped
   /// undecided by an eviction).
@@ -273,10 +304,15 @@ std::size_t path_evict(PathStateSoA& s, std::size_t path);
 /// Receipt-invisible.  Returns the arena bytes reclaimed.
 std::size_t path_state_compact(PathStateSoA& s);
 
-/// What one path_decay call did.
+/// What one path_decay call did.  Arena-slice and emitted-capacity decay
+/// report separately: released arena halves become garbage the next
+/// compaction reclaims and feed the arena accounting, while emitted
+/// capacity is ordinary heap returned to the allocator immediately.
 struct PathDecay {
   std::size_t halved_slices = 0;   ///< 0..2 (temp buffer and/or J-ring)
   std::size_t released_bytes = 0;  ///< live capacity turned to garbage
+  std::size_t halved_emitted = 0;  ///< 0..1 (emitted-sample capacity)
+  std::size_t released_emitted_bytes = 0;  ///< heap freed by that halving
 };
 
 /// Live-capacity decay — the shrink half of the grow-by-doubling slices.
@@ -289,7 +325,10 @@ struct PathDecay {
 /// slice sizes.  The released half becomes arena garbage that the next
 /// path_state_compact reclaims, so a traffic spike's capacity ratchet
 /// decays back down instead of pinning arena_live_bytes at the spike
-/// level forever.  Receipt-invisible.  `low_streak == 0` disables.
+/// level forever.  The emitted-sample vector's retained capacity (drains
+/// keep it; see path_take_samples) decays under the same
+/// quarter-occupancy/streak rule, flooring at a small initial capacity.
+/// Receipt-invisible.  `low_streak == 0` disables.
 PathDecay path_decay(PathStateSoA& s, std::size_t path,
                      std::uint32_t low_streak);
 
@@ -326,7 +365,12 @@ inline std::size_t path_observe(PathStateSoA& s, std::size_t path,
 }
 
 /// Drain the samples emitted so far (observation order).  Packets still in
-/// the temp buffer stay buffered — their fate is not yet decided.
+/// the temp buffer stay buffered — their fate is not yet decided.  The
+/// path's emitted vector keeps its capacity across the drain (a busy path
+/// re-fills it every reporting round; the old swap-release made each round
+/// re-grow the vector from zero through the allocator) — path_decay
+/// shrinks it when the path quiets down and path_evict still releases it
+/// entirely.
 [[nodiscard]] std::vector<SampleRecord> path_take_samples(PathStateSoA& s,
                                                           std::size_t path);
 

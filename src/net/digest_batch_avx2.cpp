@@ -24,6 +24,8 @@
 
 #include <cstddef>
 
+#include "net/lookup3_avx2.hpp"
+
 namespace vpm::net::detail {
 namespace {
 
@@ -42,57 +44,8 @@ static_assert(offsetof(PacketHeader, ip_id) == 12);
 static_assert(offsetof(PacketHeader, protocol) == 16);
 static_assert(offsetof(Packet, payload_prefix) == 24);
 
-inline __m256i rot8(__m256i x, int k) noexcept {
-  return _mm256_or_si256(_mm256_slli_epi32(x, k),
-                         _mm256_srli_epi32(x, 32 - k));
-}
-
-// lookup3 mix() — same schedule as lookup3::mix, eight lanes wide.
-inline void mix8(__m256i& a, __m256i& b, __m256i& c) noexcept {
-  a = _mm256_sub_epi32(a, c);
-  a = _mm256_xor_si256(a, rot8(c, 4));
-  c = _mm256_add_epi32(c, b);
-  b = _mm256_sub_epi32(b, a);
-  b = _mm256_xor_si256(b, rot8(a, 6));
-  a = _mm256_add_epi32(a, c);
-  c = _mm256_sub_epi32(c, b);
-  c = _mm256_xor_si256(c, rot8(b, 8));
-  b = _mm256_add_epi32(b, a);
-  a = _mm256_sub_epi32(a, c);
-  a = _mm256_xor_si256(a, rot8(c, 16));
-  c = _mm256_add_epi32(c, b);
-  b = _mm256_sub_epi32(b, a);
-  b = _mm256_xor_si256(b, rot8(a, 19));
-  a = _mm256_add_epi32(a, c);
-  c = _mm256_sub_epi32(c, b);
-  c = _mm256_xor_si256(c, rot8(b, 4));
-  b = _mm256_add_epi32(b, a);
-}
-
-// lookup3 final() — same schedule as lookup3::final_mix, eight lanes wide.
-inline void final_mix8(__m256i& a, __m256i& b, __m256i& c) noexcept {
-  c = _mm256_xor_si256(c, b);
-  c = _mm256_sub_epi32(c, rot8(b, 14));
-  a = _mm256_xor_si256(a, c);
-  a = _mm256_sub_epi32(a, rot8(c, 11));
-  b = _mm256_xor_si256(b, a);
-  b = _mm256_sub_epi32(b, rot8(a, 25));
-  c = _mm256_xor_si256(c, b);
-  c = _mm256_sub_epi32(c, rot8(b, 16));
-  a = _mm256_xor_si256(a, c);
-  a = _mm256_sub_epi32(a, rot8(c, 4));
-  b = _mm256_xor_si256(b, a);
-  b = _mm256_sub_epi32(b, rot8(a, 14));
-  c = _mm256_xor_si256(c, b);
-  c = _mm256_sub_epi32(c, rot8(b, 24));
-}
-
-// role_mix(), eight lanes wide: (x ^ seed) * 0x9E3779B1; x ^= x >> 16.
-inline __m256i role_mix8(__m256i x, std::uint32_t seed) noexcept {
-  x = _mm256_xor_si256(x, _mm256_set1_epi32(static_cast<int>(seed)));
-  x = _mm256_mullo_epi32(x, _mm256_set1_epi32(static_cast<int>(0x9E3779B1u)));
-  return _mm256_xor_si256(x, _mm256_srli_epi32(x, 16));
-}
+// The eight-lane lookup3 schedules (rot8 / mix8 / final_mix8 / role_mix8)
+// live in net/lookup3_avx2.hpp, shared with the sweep kernel.
 
 void decide_batch_avx2_impl(const Packet* pkts, const std::uint32_t* idx,
                             std::size_t n, DigestMode mode,

@@ -1,0 +1,83 @@
+// Eight-lane AVX2 transliteration of the lookup3 mixing primitives.
+//
+// The scalar schedules in net/bob_hash.hpp are fixed lattices of 32-bit
+// adds/subs/xors/rotates with no data-dependent control flow, so they map
+// one-to-one onto the eight 32-bit lanes of a ymm register (rotate =
+// shift-left | shift-right-complement).  Every AVX2 kernel that runs a
+// lookup3 hash — the 23-byte packet digest, the marker-sweep sample_value
+// pairs — shares this ONE transliteration, so a schedule fix lands in all
+// of them at once.  Byte-identity with the scalar primitives is pinned by
+// tests/simd_dispatch_test.cpp.
+//
+// Include only from translation units compiled with -mavx2 (the
+// *_avx2.cpp kernel TUs); the header is empty otherwise so an accidental
+// include from portable code fails loud at the call site rather than
+// emitting AVX2 instructions into a TU that must stay scalar.
+#ifndef VPM_NET_LOOKUP3_AVX2_HPP
+#define VPM_NET_LOOKUP3_AVX2_HPP
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace vpm::net::detail {
+
+inline __m256i rot8(__m256i x, int k) noexcept {
+  return _mm256_or_si256(_mm256_slli_epi32(x, k),
+                         _mm256_srli_epi32(x, 32 - k));
+}
+
+// lookup3 mix() — same schedule as lookup3::mix, eight lanes wide.
+inline void mix8(__m256i& a, __m256i& b, __m256i& c) noexcept {
+  a = _mm256_sub_epi32(a, c);
+  a = _mm256_xor_si256(a, rot8(c, 4));
+  c = _mm256_add_epi32(c, b);
+  b = _mm256_sub_epi32(b, a);
+  b = _mm256_xor_si256(b, rot8(a, 6));
+  a = _mm256_add_epi32(a, c);
+  c = _mm256_sub_epi32(c, b);
+  c = _mm256_xor_si256(c, rot8(b, 8));
+  b = _mm256_add_epi32(b, a);
+  a = _mm256_sub_epi32(a, c);
+  a = _mm256_xor_si256(a, rot8(c, 16));
+  c = _mm256_add_epi32(c, b);
+  b = _mm256_sub_epi32(b, a);
+  b = _mm256_xor_si256(b, rot8(a, 19));
+  a = _mm256_add_epi32(a, c);
+  c = _mm256_sub_epi32(c, b);
+  c = _mm256_xor_si256(c, rot8(b, 4));
+  b = _mm256_add_epi32(b, a);
+}
+
+// lookup3 final() — same schedule as lookup3::final_mix, eight lanes wide.
+inline void final_mix8(__m256i& a, __m256i& b, __m256i& c) noexcept {
+  c = _mm256_xor_si256(c, b);
+  c = _mm256_sub_epi32(c, rot8(b, 14));
+  a = _mm256_xor_si256(a, c);
+  a = _mm256_sub_epi32(a, rot8(c, 11));
+  b = _mm256_xor_si256(b, a);
+  b = _mm256_sub_epi32(b, rot8(a, 25));
+  c = _mm256_xor_si256(c, b);
+  c = _mm256_sub_epi32(c, rot8(b, 16));
+  a = _mm256_xor_si256(a, c);
+  a = _mm256_sub_epi32(a, rot8(c, 4));
+  b = _mm256_xor_si256(b, a);
+  b = _mm256_sub_epi32(b, rot8(a, 14));
+  c = _mm256_xor_si256(c, b);
+  c = _mm256_sub_epi32(c, rot8(b, 24));
+}
+
+// role_mix(), eight lanes wide: (x ^ seed) * 0x9E3779B1; x ^= x >> 16.
+inline __m256i role_mix8(__m256i x, std::uint32_t seed) noexcept {
+  x = _mm256_xor_si256(x, _mm256_set1_epi32(static_cast<int>(seed)));
+  x = _mm256_mullo_epi32(x, _mm256_set1_epi32(static_cast<int>(0x9E3779B1u)));
+  return _mm256_xor_si256(x, _mm256_srli_epi32(x, 16));
+}
+
+}  // namespace vpm::net::detail
+
+#endif  // defined(__AVX2__)
+
+#endif  // VPM_NET_LOOKUP3_AVX2_HPP

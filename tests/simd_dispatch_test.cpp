@@ -19,6 +19,7 @@
 // check.  CI's x86-64-v3 leg is where both tiers are genuinely exercised.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <numeric>
@@ -27,10 +28,13 @@
 
 #include "collector/monitoring_cache.hpp"
 #include "core/config.hpp"
+#include "core/path_state.hpp"
 #include "core/receipt.hpp"
 #include "helpers.hpp"
 #include "net/digest.hpp"
+#include "net/sample_batch.hpp"
 #include "net/simd_dispatch.hpp"
+#include "net/window_batch.hpp"
 #include "net/wire.hpp"
 #include "trace/synthetic_trace.hpp"
 
@@ -215,6 +219,169 @@ TEST(SimdDispatch, ClassifierTiersMatch) {
 }
 
 // ------------------------------------------------------------------------
+// Protocol kernels (marker sweep-select, J-window scans): scalar vs AVX2
+// over every remainder 0..23 plus multi-group sizes, with poison
+// sentinels pinning the "never writes out[n] / past the last mask word"
+// contract.  On scalar-only hosts the AVX2 entry points are null and the
+// loops degenerate to scalar-vs-reference.
+
+std::vector<core::TimedDigest> synthetic_records(std::size_t n,
+                                                 std::uint64_t seed,
+                                                 std::int64_t cutoff_ns) {
+  std::vector<core::TimedDigest> recs(n);
+  std::uint64_t x = seed * 2 + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    recs[i].id = static_cast<net::PacketDigest>(x);
+    // Times cluster around the cutoff (including exact hits, the >= edge)
+    // with occasional far outliers.
+    const std::int64_t delta = static_cast<std::int64_t>((x >> 32) % 9) - 4;
+    recs[i].time = net::Timestamp{
+        (x >> 40) % 7 == 0 ? cutoff_ns + delta * 1'000'000 : cutoff_ns + delta};
+  }
+  return recs;
+}
+
+const std::byte* bytes_of(const core::TimedDigest* p) {
+  return reinterpret_cast<const std::byte*>(p);
+}
+
+TEST(SimdDispatch, SweepSelectKernelTiersMatch) {
+  const net::detail::SweepSelectFn avx2 = net::detail::sweep_select_avx2();
+  if (cross_tier_host()) {
+    ASSERT_NE(avx2, nullptr);
+  }
+  constexpr std::size_t kStride = sizeof(core::TimedDigest);
+  constexpr std::uint32_t kPoison = 0xDEADBEEFu;
+
+  std::vector<std::size_t> sizes(24);
+  std::iota(sizes.begin(), sizes.end(), 0);
+  sizes.push_back(64);
+  sizes.push_back(1000);
+
+  for (const std::size_t n : sizes) {
+    const auto recs = synthetic_records(n, n + 1, 0);
+    for (const std::uint32_t marker : {0u, 0x1234ABCDu}) {
+      for (const std::uint32_t thr : {0u, 1u << 30, 0xFFFFFFFFu}) {
+        std::vector<std::uint32_t> ref;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (DigestEngine::sample_value(recs[i].id, marker) > thr) {
+            ref.push_back(static_cast<std::uint32_t>(i));
+          }
+        }
+
+        std::vector<std::uint32_t> got(n + 1, kPoison);
+        const std::size_t m = net::detail::sweep_select_scalar(
+            bytes_of(recs.data()), kStride, n, marker, thr, got.data());
+        ASSERT_EQ(m, ref.size()) << "scalar n=" << n << " thr=" << thr;
+        ASSERT_TRUE(std::equal(ref.begin(), ref.end(), got.begin()))
+            << "scalar n=" << n << " thr=" << thr;
+        ASSERT_EQ(got[n], kPoison) << "scalar wrote out[n], n=" << n;
+
+        if (avx2 == nullptr || !cross_tier_host()) continue;
+        std::vector<std::uint32_t> vec(n + 1, kPoison);
+        const std::size_t mv = avx2(bytes_of(recs.data()), kStride, n, marker,
+                                    thr, vec.data());
+        ASSERT_EQ(mv, ref.size()) << "avx2 n=" << n << " thr=" << thr;
+        ASSERT_TRUE(std::equal(ref.begin(), ref.end(), vec.begin()))
+            << "avx2 n=" << n << " thr=" << thr;
+        ASSERT_EQ(vec[n], kPoison) << "avx2 wrote out[n], n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, WindowCollectKernelTiersMatch) {
+  const net::detail::WindowCollectFn avx2 = net::detail::window_collect_avx2();
+  if (cross_tier_host()) {
+    ASSERT_NE(avx2, nullptr);
+  }
+  constexpr std::size_t kStride = sizeof(core::TimedDigest);
+  constexpr std::size_t kTimeOff = offsetof(core::TimedDigest, time);
+  constexpr std::uint32_t kPoison = 0xDEADBEEFu;
+  const std::int64_t cutoff = 987'654'321'000;
+
+  std::vector<std::size_t> sizes(24);
+  std::iota(sizes.begin(), sizes.end(), 0);
+  sizes.push_back(64);
+  sizes.push_back(1000);
+
+  for (const std::size_t n : sizes) {
+    const auto recs = synthetic_records(n, 31 * n + 7, cutoff);
+    std::vector<std::uint32_t> ref;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (recs[i].time.nanoseconds() >= cutoff) ref.push_back(recs[i].id);
+    }
+
+    std::vector<std::uint32_t> got(n + 1, kPoison);
+    const std::size_t m = net::detail::window_collect_scalar(
+        bytes_of(recs.data()), kStride, kTimeOff, n, cutoff, got.data());
+    ASSERT_EQ(m, ref.size()) << "scalar n=" << n;
+    ASSERT_TRUE(std::equal(ref.begin(), ref.end(), got.begin()))
+        << "scalar n=" << n;
+    ASSERT_EQ(got[n], kPoison) << "scalar wrote out[n], n=" << n;
+
+    if (avx2 == nullptr || !cross_tier_host()) continue;
+    std::vector<std::uint32_t> vec(n + 1, kPoison);
+    const std::size_t mv = avx2(bytes_of(recs.data()), kStride, kTimeOff, n,
+                                cutoff, vec.data());
+    ASSERT_EQ(mv, ref.size()) << "avx2 n=" << n;
+    ASSERT_TRUE(std::equal(ref.begin(), ref.end(), vec.begin()))
+        << "avx2 n=" << n;
+    ASSERT_EQ(vec[n], kPoison) << "avx2 wrote out[n], n=" << n;
+  }
+}
+
+TEST(SimdDispatch, TimeGeMaskKernelTiersMatch) {
+  const net::detail::TimeGeMaskFn avx2 = net::detail::time_ge_mask_avx2();
+  if (cross_tier_host()) {
+    ASSERT_NE(avx2, nullptr);
+  }
+  constexpr std::size_t kStride = sizeof(core::TimedDigest);
+  constexpr std::size_t kTimeOff = offsetof(core::TimedDigest, time);
+  constexpr std::uint64_t kPoison = 0xFEEDFACECAFEBEEFull;
+  const std::int64_t cutoff = -123'456'789;  // negative cutoffs are legal
+
+  std::vector<std::size_t> sizes(24);
+  std::iota(sizes.begin(), sizes.end(), 0);
+  sizes.push_back(64);
+  sizes.push_back(77);
+  sizes.push_back(1000);
+
+  for (const std::size_t n : sizes) {
+    const auto recs = synthetic_records(n, 17 * n + 3, cutoff);
+    const std::size_t words = (n + 63) / 64;
+
+    std::vector<std::uint64_t> want(words, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (recs[i].time.nanoseconds() >= cutoff) {
+        want[i >> 6] |= std::uint64_t{1} << (i & 63);
+      }
+    }
+
+    // One poison word past the contract's (n + 63) / 64 zero-filled words:
+    // the kernels must leave it untouched.
+    std::vector<std::uint64_t> got(words + 1, kPoison);
+    net::detail::time_ge_mask_scalar(bytes_of(recs.data()), kStride, kTimeOff,
+                                     n, cutoff, got.data());
+    for (std::size_t w = 0; w < words; ++w) {
+      ASSERT_EQ(got[w], want[w]) << "scalar n=" << n << " word=" << w;
+    }
+    ASSERT_EQ(got[words], kPoison) << "scalar wrote past mask, n=" << n;
+
+    if (avx2 == nullptr || !cross_tier_host()) continue;
+    std::vector<std::uint64_t> vec(words + 1, kPoison);
+    avx2(bytes_of(recs.data()), kStride, kTimeOff, n, cutoff, vec.data());
+    for (std::size_t w = 0; w < words; ++w) {
+      ASSERT_EQ(vec[w], want[w]) << "avx2 n=" << n << " word=" << w;
+    }
+    ASSERT_EQ(vec[words], kPoison) << "avx2 wrote past mask, n=" << n;
+  }
+}
+
+// ------------------------------------------------------------------------
 // Whole-cache receipt streams across tiers, ~200k packets, both modes.
 
 class CacheTierEquivalence : public ::testing::TestWithParam<DigestMode> {};
@@ -282,6 +449,90 @@ TEST_P(CacheTierEquivalence, ReceiptsByteIdenticalAcrossTiers) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, CacheTierEquivalence,
+                         ::testing::Values(DigestMode::kSingle,
+                                           DigestMode::kIndependent));
+
+// ------------------------------------------------------------------------
+// Time-keyed marker bound x vectorized sweep: with marker_max_age set well
+// below the trace span, most sweeps are forced (age-triggered) rather than
+// digest-triggered, and the swept slices stop at the bound instead of the
+// ~1/marker_rate expectation.  Receipts must stay byte-identical across
+// tiers on that path too, and the per-tier sweep-kernel counters must
+// attribute the work to the tier that ran it.
+
+class ForcedMarkerTierEquivalence
+    : public ::testing::TestWithParam<DigestMode> {};
+
+TEST_P(ForcedMarkerTierEquivalence, ReceiptsByteIdenticalAcrossTiers) {
+  trace::MultiPathConfig mcfg;
+  mcfg.path_count = 64;
+  mcfg.total_packets_per_second = 200'000;
+  mcfg.duration = net::seconds(1);
+  mcfg.seed = 59;
+  const auto multi = trace::generate_multi_path(mcfg);
+  ASSERT_GT(multi.packets.size(), 190'000u);
+
+  collector::MonitoringCache::Config ccfg;
+  ccfg.protocol = protocol_for(GetParam());
+  // Per-path inter-arrival is ~320us (200kpps over 64 paths), so a 20ms
+  // bound forces a sweep roughly every 62 buffered records — far more
+  // often than the 1e-3 marker rate's ~1000-record expectation.
+  ccfg.protocol.marker_max_age = net::milliseconds(20);
+  ccfg.tuning = core::HopTuning{.sample_rate = 0.01, .cut_rate = 1e-3};
+
+  collector::MonitoringCache scalar_cache(ccfg, multi.paths);
+  collector::MonitoringCache simd_cache(ccfg, multi.paths);
+
+  const std::size_t cuts[] = {3, 8, 11, 64, 513, 4096};
+  auto feed = [&](collector::MonitoringCache& cache) {
+    std::size_t at = 0, pick = 0;
+    while (at < multi.packets.size()) {
+      const std::size_t want = cuts[pick++ % std::size(cuts)];
+      const std::size_t n = std::min(want, multi.packets.size() - at);
+      cache.observe_batch(
+          std::span<const Packet>(multi.packets.data() + at, n));
+      at += n;
+    }
+  };
+  {
+    TierGuard g(simd::Tier::kScalar);
+    feed(scalar_cache);
+  }
+  {
+    TierGuard g(simd::Tier::kAvx2);
+    feed(simd_cache);
+  }
+
+  // The bound actually fired: markers outnumber the digest-triggered
+  // expectation (~200 naturally at 1e-3 over 200k packets) by a wide
+  // margin, and every sweep ran through the tier that was forced.
+  std::uint64_t markers = 0;
+  for (std::size_t path = 0; path < multi.paths.size(); ++path) {
+    markers += scalar_cache.path_stats(path).markers;
+  }
+  EXPECT_GT(markers, 1000u);
+  EXPECT_GT(scalar_cache.ops().sweep_kernel_scalar, 0u);
+  EXPECT_EQ(scalar_cache.ops().sweep_kernel_avx2, 0u);
+  if (cross_tier_host()) {
+    EXPECT_GT(simd_cache.ops().sweep_kernel_avx2, 0u);
+    EXPECT_EQ(simd_cache.ops().sweep_kernel_scalar, 0u);
+  }
+
+  bool any_samples = false;
+  for (std::size_t path = 0; path < multi.paths.size(); ++path) {
+    const core::SampleReceipt s = scalar_cache.collect_samples(path);
+    any_samples = any_samples || !s.samples.empty();
+    ASSERT_EQ(encode_samples(s),
+              encode_samples(simd_cache.collect_samples(path)))
+        << "path " << path;
+    ASSERT_EQ(encode_aggregates(scalar_cache.collect_aggregates(path, true)),
+              encode_aggregates(simd_cache.collect_aggregates(path, true)))
+        << "path " << path;
+  }
+  EXPECT_TRUE(any_samples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ForcedMarkerTierEquivalence,
                          ::testing::Values(DigestMode::kSingle,
                                            DigestMode::kIndependent));
 
